@@ -1,0 +1,76 @@
+// End-to-end billing-pipeline throughput: clicks/second through the full
+// BillingEngine (identifier extraction → duplicate detector → ledger) for
+// each detector choice. This is the number an advertising network's
+// capacity planning would care about.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adnet/billing.hpp"
+#include "baseline/exact_detectors.hpp"
+#include "core/detector_factory.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+using namespace ppc;
+
+constexpr std::uint64_t kWindow = 1 << 16;
+
+adnet::BillingEngine make_engine(
+    std::unique_ptr<core::DuplicateDetector> detector) {
+  adnet::BillingEngine engine(adnet::BillingConfig{}, std::move(detector));
+  for (std::uint32_t ad = 0; ad < 64; ++ad) {
+    engine.register_advertiser({.id = ad,
+                                .name = "adv",
+                                .bid_per_click = adnet::from_dollars(0.25),
+                                .budget = adnet::from_dollars(1e9)});
+  }
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    engine.register_publisher({.id = p, .name = "pub"});
+  }
+  return engine;
+}
+
+void run_pipeline(benchmark::State& state,
+                  std::unique_ptr<core::DuplicateDetector> detector) {
+  auto engine = make_engine(std::move(detector));
+  stream::MixedTrafficOptions gopts;
+  gopts.user_count = 100'000;
+  gopts.ad_count = 64;
+  stream::MixedTrafficStream gen(gopts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.process(gen.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["rejected_dups"] =
+      static_cast<double>(engine.rejected_duplicates());
+}
+
+void BM_Billing_TBF(benchmark::State& state) {
+  core::DetectorBudget budget;
+  budget.total_memory_bits = 1ull << 24;
+  run_pipeline(state,
+               core::make_detector(core::WindowSpec::sliding_count(kWindow),
+                                   budget));
+}
+BENCHMARK(BM_Billing_TBF);
+
+void BM_Billing_GBF(benchmark::State& state) {
+  core::DetectorBudget budget;
+  budget.total_memory_bits = 1ull << 24;
+  run_pipeline(state,
+               core::make_detector(core::WindowSpec::jumping_count(kWindow, 8),
+                                   budget));
+}
+BENCHMARK(BM_Billing_GBF);
+
+void BM_Billing_Exact(benchmark::State& state) {
+  run_pipeline(state, std::make_unique<baseline::ExactSlidingDetector>(
+                          core::WindowSpec::sliding_count(kWindow)));
+}
+BENCHMARK(BM_Billing_Exact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Shared helpers for the figure-reproduction binaries: a tiny CLI parser
+// (--paper / --scale=<log2 shift> / key=value overrides) and aligned table
+// printing, so every bench emits the same style of series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ppc::benchutil {
+
+/// Parsed command line. The figure benches default to a scaled-down run
+/// (same k·n/m ratios as the paper, smaller N) so `for b in bench/*; do $b;
+/// done` finishes quickly; `--paper` restores the paper's exact sizes.
+struct Args {
+  bool paper = false;
+  /// log2 of the down-scaling factor applied to N and m (default 16 means
+  /// N = 2^20 becomes 2^(20-4)=2^16 when scale_shift=4).
+  int scale_shift = 4;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--paper") == 0) {
+        args.paper = true;
+      } else if (std::strncmp(a, "--scale=", 8) == 0) {
+        args.scale_shift = std::atoi(a + 8);
+      } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+        std::printf(
+            "usage: %s [--paper] [--scale=<shift>]\n"
+            "  --paper         run at the paper's exact sizes (N=2^20)\n"
+            "  --scale=<s>     divide N and m by 2^s for quick runs "
+            "(default 4)\n",
+            argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s (try --help)\n", a);
+        std::exit(2);
+      }
+    }
+    if (args.paper) args.scale_shift = 0;
+    return args;
+  }
+
+  /// Scales a paper-sized quantity down by the configured shift.
+  std::uint64_t scaled(std::uint64_t paper_value) const {
+    return paper_value >> scale_shift;
+  }
+};
+
+/// Fixed-width table printing: header then rows of doubles/ints.
+inline void print_rule(std::size_t cols, int width = 14) {
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (int j = 0; j < width; ++j) std::fputc('-', stdout);
+    std::fputc(i + 1 == cols ? '\n' : '+', stdout);
+  }
+}
+
+inline void print_header(const std::vector<std::string>& cols,
+                         int width = 14) {
+  for (const auto& c : cols) std::printf("%*s ", width - 1, c.c_str());
+  std::fputc('\n', stdout);
+  print_rule(cols.size(), width);
+}
+
+inline void print_cell(double v, int width = 14) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+      v > -1e15) {
+    std::printf("%*lld ", width - 1, static_cast<long long>(v));
+  } else {
+    std::printf("%*.*g ", width - 1, 4, v);
+  }
+}
+
+inline void print_row(const std::vector<double>& vals, int width = 14) {
+  for (double v : vals) print_cell(v, width);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace ppc::benchutil

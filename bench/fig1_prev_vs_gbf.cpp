@@ -1,0 +1,84 @@
+// Figure 1 — "Comparison between Previous Algorithm and GBF Algorithm".
+//
+// Paper setup: jumping window, Q = 31 sub-windows, per-filter size
+// m = 2^20, window size N swept from 2^15 to 2^20; the previous algorithm
+// is the Metwally et al. counting-Bloom-filter jumping scheme (§3.3), whose
+// membership check against the *main* filter behaves like all N window
+// elements inserted into one m-cell filter. The claim: its FP rate explodes
+// toward 1 as N → m while GBF stays orders of magnitude lower.
+//
+// The paper does not state k for this figure and no single k reproduces
+// both quoted endpoints exactly (see DESIGN.md); we therefore print the
+// exact analytic curves for k ∈ {1, 2, 4, 8} for both algorithms, plus a
+// simulated arm at k = 4 using the real data structures. At k = 1 the two
+// coincide (expected: Q filters of N/Q elements ≈ one filter of N at one
+// probe); for every k ≥ 2 the paper's qualitative claim holds with a wide
+// margin.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/theory.hpp"
+#include "baseline/metwally_jumping_detector.hpp"
+#include "bench_util.hpp"
+#include "core/group_bloom_filter.hpp"
+
+using namespace ppc;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  const std::uint64_t m = args.scaled(1u << 20);
+  const std::uint32_t q = 31;
+  const std::size_t sim_k = 4;
+  const int log_n_lo = 15 - args.scale_shift;
+  const int log_n_hi = 20 - args.scale_shift;
+
+  std::printf("Figure 1: FP rate vs window size, Q=%u, m=%llu%s\n", q,
+              static_cast<unsigned long long>(m),
+              args.paper ? " (paper scale)" : " (scaled; --paper for full)");
+  std::printf("prev = Metwally counting-BF jumping scheme; gbf = this paper\n\n");
+
+  benchutil::print_header({"log2(N)", "prev k=1", "gbf k=1", "prev k=2",
+                           "gbf k=2", "prev k=4", "gbf k=4", "prev k=8",
+                           "gbf k=8", "prev sim k=4", "gbf sim k=4"},
+                          13);
+
+  for (int log_n = log_n_lo; log_n <= log_n_hi; ++log_n) {
+    const std::uint64_t n = 1ull << log_n;
+    std::vector<double> row{static_cast<double>(log_n + args.scale_shift)};
+    for (std::size_t k : {1u, 2u, 4u, 8u}) {
+      row.push_back(analysis::metwally_main_fpr(static_cast<double>(m),
+                                                static_cast<double>(n), k));
+      row.push_back(analysis::gbf_fpr_upper(static_cast<double>(m),
+                                            static_cast<double>(n), q, k));
+    }
+
+    // Simulated arms: distinct stream, FPs counted over the trailing half
+    // (the paper's stabilization protocol, shortened for the sweep).
+    const auto w = core::WindowSpec::jumping_count(n, q);
+    analysis::DistinctRunConfig cfg{6 * n, 3 * n, 1};
+
+    baseline::MetwallyJumpingDetector::Options mo;
+    mo.cells = m;
+    mo.sub_counter_bits = 4;
+    mo.main_counter_bits = 8;
+    mo.hash_count = sim_k;
+    baseline::MetwallyJumpingDetector prev(w, mo);
+    row.push_back(analysis::measure_fpr_distinct(prev, cfg));
+
+    core::GroupBloomFilter::Options go;
+    go.bits_per_subfilter = m;
+    go.hash_count = sim_k;
+    core::GroupBloomFilter gbf(w, go);
+    row.push_back(analysis::measure_fpr_distinct(gbf, cfg));
+
+    benchutil::print_row(row, 13);
+  }
+
+  std::printf(
+      "\nShape check (paper quotes at N=2^20, m=2^20: prev ~0.62, GBF "
+      "~0.008):\n"
+      "prev saturates toward 1 as N approaches m; GBF stays 1-3 orders of\n"
+      "magnitude lower at every k >= 2. See EXPERIMENTS.md for the k\n"
+      "ambiguity discussion.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 2(b) — "False Positive Rate of TBF Algorithm over Sliding
+// Windows": theoretical vs experimental FP rate as k sweeps 1..20.
+//
+// Paper setup (§5): N = 2^20 sliding window, m = 15,112,980 timestamp
+// entries; 20·N distinct identifiers, false positives counted over the last
+// 10·N arrivals. Quoted endpoint: k = 10 → FP ≈ 0.001.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/theory.hpp"
+#include "bench_util.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+using namespace ppc;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  const std::uint64_t n = args.scaled(1u << 20);
+  const std::uint64_t m = args.scaled(15'112'980);
+
+  std::printf("Figure 2(b): TBF FP rate vs k; N=%llu, m=%llu entries%s\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m),
+              args.paper ? " (paper scale)" : " (scaled; --paper for full)");
+  benchutil::print_header({"k", "theory", "experiment"});
+
+  for (std::size_t k = 1; k <= 20; ++k) {
+    core::TimingBloomFilter::Options opts;
+    opts.entries = m;
+    opts.hash_count = k;
+    core::TimingBloomFilter tbf(core::WindowSpec::sliding_count(n), opts);
+    analysis::DistinctRunConfig cfg{20 * n, 10 * n, k};
+    const double measured = analysis::measure_fpr_distinct(tbf, cfg);
+    benchutil::print_row(
+        {static_cast<double>(k),
+         analysis::tbf_fpr(static_cast<double>(m), static_cast<double>(n), k),
+         measured});
+  }
+
+  std::printf(
+      "\nPaper quote: k=10, m=15,112,980 -> FP about 0.001. The TBF behaves\n"
+      "as a classical Bloom filter over the N active elements; expired-but-\n"
+      "unreclaimed timestamps fail the activity check and cannot raise the\n"
+      "rate.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Zero-false-negative claims (Theorems 1(1) and 2(1)) and the §2.4
+// comparison against the Stable Bloom Filter.
+//
+// Feeds every detector a duplicate-heavy stream and scores it against its
+// own validity history (the self-consistency oracle — see
+// analysis/validity_oracle.hpp): GBF, TBF and the well-provisioned Metwally
+// scheme must report FN = 0; the Stable Bloom Filter trades false negatives
+// for stability and shows a clearly non-zero FN rate; a deliberately
+// counter-starved Metwally configuration shows how counter saturation
+// erodes its deletion path. Memory columns reproduce the §3.3 accounting.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "analysis/theory.hpp"
+#include "analysis/validity_oracle.hpp"
+#include "baseline/metwally_jumping_detector.hpp"
+#include "baseline/stable_bloom_filter.hpp"
+#include "bench_util.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "stream/rng.hpp"
+
+using namespace ppc;
+
+namespace {
+
+std::vector<std::uint64_t> duplicate_heavy_stream(std::uint64_t count,
+                                                  std::uint64_t window,
+                                                  std::uint64_t seed) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  stream::Rng rng(seed);
+  std::uint64_t fresh = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!ids.empty() && rng.chance(0.35)) {
+      ids.push_back(ids[i - 1 - rng.below(std::min<std::uint64_t>(window, i))]);
+    } else {
+      ids.push_back((seed << 42) + fresh++);
+    }
+  }
+  return ids;
+}
+
+struct RowSpec {
+  const char* name;
+  std::function<std::unique_ptr<core::DuplicateDetector>()> make;
+  std::function<std::unique_ptr<analysis::ValidityOracle>()> oracle;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  const std::uint64_t n = args.scaled(1u << 18);
+  const std::uint32_t q = 8;
+  const std::uint64_t m_bits = args.scaled(1ull << 25);
+  const std::size_t k = 6;
+
+  const auto ids = duplicate_heavy_stream(10 * n, n, /*seed=*/7);
+
+  std::printf(
+      "False-negative / false-positive comparison, window N=%llu, "
+      "duplicate-heavy stream (%llu arrivals)\n\n",
+      static_cast<unsigned long long>(n),
+      static_cast<unsigned long long>(ids.size()));
+
+  const std::vector<RowSpec> rows = {
+      {"GBF (jumping Q=8)",
+       [&] {
+         core::GroupBloomFilter::Options o;
+         o.bits_per_subfilter = m_bits / (q + 1);
+         o.hash_count = k;
+         return std::make_unique<core::GroupBloomFilter>(
+             core::WindowSpec::jumping_count(n, q), o);
+       },
+       [&] { return std::make_unique<analysis::JumpingOracle>(n, q); }},
+      {"TBF (sliding)",
+       [&] {
+         core::TimingBloomFilter::Options o;
+         o.entries = m_bits / analysis::tbf_entry_bits(n, n - 1);
+         o.hash_count = k;
+         return std::make_unique<core::TimingBloomFilter>(
+             core::WindowSpec::sliding_count(n), o);
+       },
+       [&] { return std::make_unique<analysis::SlidingOracle>(n); }},
+      {"Metwally (wide ctr)",
+       [&] {
+         baseline::MetwallyJumpingDetector::Options o;
+         o.cells = m_bits / (q * 8 + 16);  // same total bit budget
+         o.sub_counter_bits = 8;
+         o.main_counter_bits = 16;
+         o.hash_count = k;
+         return std::make_unique<baseline::MetwallyJumpingDetector>(
+             core::WindowSpec::jumping_count(n, q), o);
+       },
+       [&] { return std::make_unique<analysis::JumpingOracle>(n, q); }},
+      {"Metwally (4-bit ctr)",
+       [&] {
+         baseline::MetwallyJumpingDetector::Options o;
+         o.cells = m_bits / (q * 4 + 8);
+         o.sub_counter_bits = 4;
+         o.main_counter_bits = 8;
+         o.hash_count = k;
+         return std::make_unique<baseline::MetwallyJumpingDetector>(
+             core::WindowSpec::jumping_count(n, q), o);
+       },
+       [&] { return std::make_unique<analysis::JumpingOracle>(n, q); }},
+      {"Stable BF",
+       [&] {
+         baseline::StableBloomFilter::Options o;
+         o.cells = m_bits / 3;
+         o.cell_bits = 3;
+         o.hash_count = 3;
+         // An SBF has no crisp window; the fair configuration tunes the
+         // decay rate so its freshness horizon (~cells·Max/P arrivals)
+         // matches the window N the others enforce.
+         o.decrements_per_arrival =
+             static_cast<std::size_t>(std::max<std::uint64_t>(
+                 1, o.cells * o.max_cell_value() / n));
+         return std::make_unique<baseline::StableBloomFilter>(
+             core::WindowSpec::sliding_count(n), o);
+       },
+       [&] { return std::make_unique<analysis::SlidingOracle>(n); }},
+  };
+
+  benchutil::print_header(
+      {"algorithm", "fn", "fn_rate", "fp", "fp_rate", "memory_KiB"}, 22);
+  for (const auto& row : rows) {
+    auto detector = row.make();
+    auto oracle = row.oracle();
+    const auto counts = analysis::run_self_consistency(*detector, *oracle, ids);
+    std::printf("%21s ", row.name);
+    benchutil::print_row({static_cast<double>(counts.false_negative),
+                          counts.false_negative_rate(),
+                          static_cast<double>(counts.false_positive),
+                          counts.false_positive_rate(),
+                          static_cast<double>(detector->memory_bits()) / 8.0 /
+                              1024.0},
+                         22);
+  }
+
+  std::printf(
+      "\nExpected: GBF and TBF report fn=0 (Theorems 1(1), 2(1)); the Stable\n"
+      "Bloom Filter shows fn>0 (its decay erases fresh entries); the\n"
+      "counter-starved Metwally configuration may miss duplicates once its\n"
+      "saturated counters corrupt deletion.\n");
+  return 0;
+}

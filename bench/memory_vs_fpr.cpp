@@ -1,0 +1,91 @@
+// Memory-accounting table (the quantitative backdrop of §3.3 and §4.2):
+// for one window size and a sweep of FP targets, the bits each approach
+// needs — GBF, TBF, the two Metwally schemes, and the exact hash table.
+//
+// The punchline the paper argues qualitatively: per window element, GBF
+// pays ~1.1 optimal Bloom bits, TBF pays an O(log N) factor over a plain
+// Bloom filter, the Metwally jumping scheme pays counter widths AND needs
+// its main filter sized for all N elements, and the sliding-CBF scheme
+// pays 64 bits of raw identifier per element on top of its filter.
+#include <cstdio>
+
+#include "analysis/sizing.hpp"
+#include "analysis/theory.hpp"
+#include "bench_util.hpp"
+
+using namespace ppc;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  const std::uint64_t n = args.scaled(1u << 20);
+  const std::uint32_t q = 8;
+
+  std::printf(
+      "Memory (MiB) to guard a window of N=%llu clicks, by FP target\n"
+      "(GBF: jumping Q=%u; TBF: sliding, C=N-1; Metwally-jump: main filter\n"
+      "sized for its own FP target on all N; sliding-CBF & exact include\n"
+      "their 64-bit-per-element identifier storage)\n\n",
+      static_cast<unsigned long long>(n), q);
+
+  benchutil::print_header({"target_fpr", "GBF", "TBF", "Metwally-jump",
+                           "sliding-CBF", "exact"});
+
+  for (const double target : {0.05, 0.01, 0.001, 0.0001}) {
+    const auto gbf = analysis::plan_gbf(n, q, target);
+    const auto tbf = analysis::plan_tbf(n, target);
+
+    // Metwally jumping: the main filter holds all N window elements, so it
+    // must be sized like one big Bloom filter for the target; counters are
+    // 4-bit in the subs and log2(N)-bit in the main.
+    const double m_cells =
+        static_cast<double>(analysis::bloom_bits_for(
+            static_cast<double>(n), target));  // cells, not bits
+    const double metwally_bits =
+        analysis::metwally_memory_bits(m_cells, q, 4,
+                                       analysis::tbf_entry_bits(n, 1));
+
+    // Sliding CBF: filter for N elements at the target + 65 bits/element.
+    const double sliding_cbf_bits =
+        m_cells * 4 + static_cast<double>(n) * 65;
+
+    // Exact detector: ~64-bit id + validity bit per element, plus the map.
+    const double exact_bits = static_cast<double>(n) * (65 + 64);
+
+    const double mib = 8.0 * (1 << 20);
+    benchutil::print_row({target,
+                          static_cast<double>(gbf.total_bits) / mib,
+                          static_cast<double>(tbf.total_bits) / mib,
+                          metwally_bits / mib, sliding_cbf_bits / mib,
+                          exact_bits / mib});
+  }
+
+  // The dimension the §2.4 criticism actually turns on: schemes that
+  // retain identifiers scale with identifier size; the filters do not.
+  // (A real click identification is an IP + cookie + ad tuple or a URL —
+  // hundreds of bits — and hashing it away is exactly what the filter
+  // schemes do and the retain-the-ids scheme cannot.)
+  std::printf(
+      "\nMemory (MiB) at FP target 0.001 as the retained click\n"
+      "identification grows (TBF/GBF are flat by construction):\n\n");
+  benchutil::print_header(
+      {"id_bits", "GBF", "TBF", "sliding-CBF", "exact"});
+  const auto gbf_plan = analysis::plan_gbf(n, q, 0.001);
+  const auto tbf_plan = analysis::plan_tbf(n, 0.001);
+  const double filter_cells =
+      static_cast<double>(analysis::bloom_bits_for(
+          static_cast<double>(n), 0.001));
+  for (const double id_bits : {64.0, 256.0, 1024.0, 4096.0}) {
+    const double mib = 8.0 * (1 << 20);
+    benchutil::print_row(
+        {id_bits, static_cast<double>(gbf_plan.total_bits) / mib,
+         static_cast<double>(tbf_plan.total_bits) / mib,
+         (filter_cells * 4 + static_cast<double>(n) * (id_bits + 1)) / mib,
+         static_cast<double>(n) * (id_bits + 65) / mib});
+  }
+  std::printf(
+      "\ncrossover: with hash-compressed 64-bit identifiers the queue-based\n"
+      "schemes are compact; with real click identifications (IP+cookie+ad\n"
+      "tuples, URLs) their per-element retention dominates and the TBF's\n"
+      "fixed O(m log N) footprint wins — the paper's §2.4 argument.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Capacity planning walkthrough: an ad-network operator sizes the
+// duplicate-click guard for a product requirement ("at most 1 in 1000
+// legitimate clicks may be mis-flagged over a 10-minute window at 50k
+// clicks/sec") and verifies the plan empirically before deploying it.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/sizing.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+using namespace ppc;
+
+int main() {
+  // Requirement: 10-minute sliding window at 50k clicks/s ≈ 30M clicks...
+  // scaled here to 2^20 so the example runs in seconds; the plan API is
+  // size-agnostic.
+  constexpr std::uint64_t kWindow = 1u << 20;
+  constexpr double kTargetFpr = 0.001;
+
+  std::printf("requirement: FP <= %.3f over a sliding window of %llu clicks\n\n",
+              kTargetFpr, static_cast<unsigned long long>(kWindow));
+
+  // 1. Ask the planner.
+  const auto plan = analysis::plan_tbf(kWindow, kTargetFpr);
+  std::printf("plan: m=%llu entries x %zu bits (%.1f MiB), k=%zu, C=%llu\n",
+              static_cast<unsigned long long>(plan.entries), plan.entry_bits,
+              static_cast<double>(plan.total_bits) / 8 / (1 << 20),
+              plan.hash_count, static_cast<unsigned long long>(plan.c));
+  std::printf("predicted FP rate: %.5f\n\n", plan.predicted_fpr);
+
+  // 2. Build the detector from the plan.
+  core::TimingBloomFilter::Options opts;
+  opts.entries = plan.entries;
+  opts.hash_count = plan.hash_count;
+  opts.c = plan.c;
+  core::TimingBloomFilter tbf(core::WindowSpec::sliding_count(kWindow), opts);
+
+  // 3. Verify empirically with the paper's §5 protocol (distinct stream,
+  //    measure after the filter stabilizes).
+  std::printf("verifying with %llu distinct clicks (FPs counted over the "
+              "last %llu)...\n",
+              static_cast<unsigned long long>(8 * kWindow),
+              static_cast<unsigned long long>(4 * kWindow));
+  analysis::DistinctRunConfig cfg{8 * kWindow, 4 * kWindow, 42};
+  const double measured = analysis::measure_fpr_distinct(tbf, cfg);
+  std::printf("measured FP rate: %.5f  (%s target)\n\n", measured,
+              measured <= kTargetFpr ? "MEETS" : "MISSES");
+
+  // 4. Show what the requirement costs under other designs.
+  std::printf("cost comparison for the same requirement:\n");
+  for (std::uint32_t q : {4u, 8u, 32u}) {
+    const auto gbf = analysis::plan_gbf(kWindow, q, kTargetFpr);
+    std::printf("  GBF jumping Q=%-3u : %.1f MiB (expiry granularity %llu "
+                "clicks)\n",
+                q, static_cast<double>(gbf.total_bits) / 8 / (1 << 20),
+                static_cast<unsigned long long>(kWindow / q));
+  }
+  std::printf("  TBF sliding       : %.1f MiB (per-click expiry)\n",
+              static_cast<double>(plan.total_bits) / 8 / (1 << 20));
+  std::printf("  exact hash table  : %.1f MiB (and growing with id size)\n",
+              static_cast<double>(kWindow) * 129 / 8 / (1 << 20));
+  std::printf(
+      "\nthe business tradeoff in one line: pay ~%.1fx more memory for\n"
+      "per-click expiry (TBF), or accept %llu-click expiry granularity\n"
+      "(GBF Q=8) at the smallest footprint.\n",
+      analysis::tbf_over_gbf_memory_ratio(kWindow, 8, kTargetFpr),
+      static_cast<unsigned long long>(kWindow / 8));
+  return 0;
+}

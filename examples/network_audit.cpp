@@ -1,0 +1,90 @@
+// The paper's §1.1 trust mechanism: "both the online advertisers and
+// publishers keep on auditing the click stream and reach an agreement on
+// the determination of valid clicks."
+//
+// The publisher processes the live stream with a memory-bounded GBF; the
+// advertiser later audits the logged trace with an exact detector. The
+// joint-audit report quantifies how many charges each side would dispute —
+// and shows that a properly provisioned GBF keeps the disputed amount to
+// pocket change, while an under-provisioned one (cheap publisher!) racks up
+// real disagreements.
+#include <cstdio>
+#include <vector>
+
+#include "adnet/auditor.hpp"
+#include "baseline/exact_detectors.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "stream/generators.hpp"
+#include "stream/trace.hpp"
+
+using namespace ppc;
+
+namespace {
+
+adnet::JointAuditReport audit_with(std::uint64_t publisher_filter_bits,
+                                   const std::vector<stream::Click>& clicks,
+                                   const core::WindowSpec& window) {
+  core::GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = publisher_filter_bits;
+  opts.hash_count = 7;
+  core::GroupBloomFilter publisher_side(window, opts);
+  baseline::ExactJumpingDetector advertiser_side(window);
+  return adnet::run_joint_audit(publisher_side, advertiser_side, clicks,
+                                adnet::from_dollars(0.40));
+}
+
+}  // namespace
+
+int main() {
+  const auto window = core::WindowSpec::jumping_count(100'000, 8);
+
+  // Record one day of traffic to a trace, as a real network would.
+  stream::MixedTrafficOptions gopts;
+  gopts.user_count = 60'000;
+  gopts.ad_count = 32;
+  stream::MixedTrafficStream gen(gopts);
+  std::vector<stream::Click> clicks;
+  clicks.reserve(400'000);
+  for (int i = 0; i < 400'000; ++i) clicks.push_back(gen.next());
+
+  const std::string trace_path = "network_audit_trace.bin";
+  {
+    stream::TraceWriter writer(trace_path);
+    for (const auto& c : clicks) writer.append(c);
+    writer.close();
+    std::printf("logged %llu clicks to %s\n",
+                static_cast<unsigned long long>(writer.written()),
+                trace_path.c_str());
+  }
+
+  // Replay the trace for the audit (proving the log round-trips).
+  std::vector<stream::Click> replayed;
+  replayed.reserve(clicks.size());
+  {
+    stream::TraceReader reader(trace_path);
+    while (auto c = reader.next()) replayed.push_back(*c);
+  }
+  std::printf("replayed %zu clicks from trace\n\n", replayed.size());
+
+  std::printf("joint audit, publisher GBF vs advertiser exact detector\n");
+  std::printf("%16s %14s %14s %14s %12s\n", "publisher m", "agreement",
+              "pub-only-valid", "adv-only-valid", "disputed");
+  for (const std::uint64_t m_bits : {1u << 14, 1u << 17, 1u << 20}) {
+    const auto report = audit_with(m_bits, replayed, window);
+    std::printf("%13llu b %13.4f%% %14llu %14llu %12s\n",
+                static_cast<unsigned long long>(m_bits),
+                100.0 * report.agreement_rate(),
+                static_cast<unsigned long long>(report.publisher_only_valid),
+                static_cast<unsigned long long>(report.advertiser_only_valid),
+                adnet::format_dollars(report.disputed).c_str());
+  }
+
+  std::printf(
+      "\nreading the table: with a well-provisioned filter (bottom row) the\n"
+      "two parties agree on virtually every click, so the pay-per-click\n"
+      "ledger can be settled without trusting either side's word. The\n"
+      "undersized filter (top row) shows why the memory/accuracy knob is a\n"
+      "business decision, not just an engineering one.\n");
+  std::remove(trace_path.c_str());
+  return 0;
+}

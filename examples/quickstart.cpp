@@ -1,0 +1,60 @@
+// Quickstart: detect duplicate clicks in a pay-per-click stream.
+//
+// Demonstrates the 4-step public API:
+//   1. describe the decaying window (WindowSpec)
+//   2. build the recommended detector under a memory budget (make_detector)
+//   3. extract a click identifier (click_identifier)
+//   4. offer() each click — true means duplicate, don't charge
+#include <cstdio>
+
+#include "core/detector_factory.hpp"
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+
+using namespace ppc;
+
+int main() {
+  // 1. "Identical clicks within the last 100,000 clicks count once."
+  const auto window = core::WindowSpec::sliding_count(100'000);
+
+  // 2. Give the detector 4 MiB; the factory picks the paper's TBF for
+  //    sliding windows (GBF for jumping/landmark windows).
+  core::DetectorBudget budget;
+  budget.total_memory_bits = 32ull << 20;
+  auto detector = core::make_detector(window, budget);
+  std::printf("detector: %s over %s, %.1f MiB\n", detector->name().c_str(),
+              window.describe().c_str(),
+              static_cast<double>(detector->memory_bits()) / 8 / (1 << 20));
+
+  // 3+4. Stream clicks through it. MixedTrafficStream simulates a Zipf
+  //      population of users clicking Zipf-popular ads.
+  stream::MixedTrafficOptions gopts;
+  gopts.user_count = 30'000;
+  gopts.ad_count = 16;
+  stream::MixedTrafficStream traffic(gopts);
+
+  std::uint64_t duplicates = 0;
+  constexpr std::uint64_t kClicks = 500'000;
+  for (std::uint64_t i = 0; i < kClicks; ++i) {
+    const stream::Click click = traffic.next();
+    const core::ClickId id =
+        stream::click_identifier(click, stream::IdentifierPolicy::kIpAndAd);
+    if (detector->offer(id, click.time_us)) {
+      ++duplicates;
+      if (duplicates <= 3) {
+        std::printf("  duplicate: ip=%s ad=%u at t=%llus\n",
+                    stream::format_ip(click.source_ip).c_str(), click.ad_id,
+                    static_cast<unsigned long long>(click.time_us / 1'000'000));
+      }
+    }
+  }
+
+  std::printf("processed %llu clicks, %llu flagged duplicate (%.1f%%)\n",
+              static_cast<unsigned long long>(kClicks),
+              static_cast<unsigned long long>(duplicates),
+              100.0 * static_cast<double>(duplicates) / kClicks);
+  std::printf(
+      "guarantee: zero false negatives — every identical click whose valid\n"
+      "twin is still inside the window is caught (Theorems 1 and 2).\n");
+  return 0;
+}

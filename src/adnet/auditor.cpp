@@ -1,0 +1,66 @@
+#include "adnet/auditor.hpp"
+
+#include <algorithm>
+
+namespace ppc::adnet {
+
+void FraudAuditor::observe(const stream::Click& click, bool duplicate) {
+  ++observed_;
+  Tally& tally = per_publisher_[click.publisher_id];
+  ++tally.clicks;
+  if (duplicate) {
+    ++tally.duplicates;
+    offenders_.offer(click.source_ip);
+  }
+}
+
+std::vector<PublisherRisk> FraudAuditor::report() const {
+  std::vector<PublisherRisk> out;
+  out.reserve(per_publisher_.size());
+  for (const auto& [id, tally] : per_publisher_) {
+    PublisherRisk risk;
+    risk.publisher_id = id;
+    risk.clicks = tally.clicks;
+    risk.duplicates = tally.duplicates;
+    risk.duplicate_rate =
+        tally.clicks == 0
+            ? 0.0
+            : static_cast<double>(tally.duplicates) / tally.clicks;
+    risk.flagged = tally.clicks >= opts_.min_clicks &&
+                   risk.duplicate_rate > opts_.duplicate_rate_threshold;
+    out.push_back(risk);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PublisherRisk& a, const PublisherRisk& b) {
+              return a.duplicate_rate > b.duplicate_rate;
+            });
+  return out;
+}
+
+JointAuditReport run_joint_audit(core::DuplicateDetector& publisher_side,
+                                 core::DuplicateDetector& advertiser_side,
+                                 const std::vector<stream::Click>& clicks,
+                                 Micros bid_per_click,
+                                 stream::IdentifierPolicy policy) {
+  JointAuditReport report;
+  report.clicks = clicks.size();
+  for (const stream::Click& click : clicks) {
+    const core::ClickId id = stream::click_identifier(click, policy);
+    const bool pub_dup = publisher_side.offer(id, click.time_us);
+    const bool adv_dup = advertiser_side.offer(id, click.time_us);
+    if (!pub_dup && !adv_dup) {
+      ++report.both_valid;
+    } else if (pub_dup && adv_dup) {
+      ++report.both_duplicate;
+    } else if (!pub_dup) {
+      ++report.publisher_only_valid;
+      report.disputed += bid_per_click;
+    } else {
+      ++report.advertiser_only_valid;
+      report.disputed += bid_per_click;
+    }
+  }
+  return report;
+}
+
+}  // namespace ppc::adnet

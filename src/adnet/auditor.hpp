@@ -1,0 +1,106 @@
+// Fraud auditing on top of duplicate verdicts.
+//
+// Two tools the paper's §1.1 conflict-of-interest story asks for:
+//  * FraudAuditor — aggregates duplicate verdicts per publisher and flags
+//    traffic sources whose duplicate rate is anomalous (a colluding or
+//    bot-ridden publisher inflates exactly this statistic).
+//  * run_joint_audit — replays one click stream through the advertiser's
+//    and the publisher's *independent* detectors and reports every
+//    disagreement, the mechanism by which "both the online advertisers and
+//    publishers keep on auditing the click stream and reach an agreement
+//    on the determination of valid clicks".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/heavy_hitters.hpp"
+#include "adnet/model.hpp"
+#include "core/duplicate_detector.hpp"
+#include "stream/click.hpp"
+
+namespace ppc::adnet {
+
+struct PublisherRisk {
+  std::uint32_t publisher_id = 0;
+  std::uint64_t clicks = 0;
+  std::uint64_t duplicates = 0;
+  double duplicate_rate = 0.0;
+  bool flagged = false;
+};
+
+struct FraudAuditorOptions {
+  /// Publishers whose duplicate rate exceeds this are flagged.
+  double duplicate_rate_threshold = 0.10;
+  /// Ignore publishers with fewer clicks (rate not yet meaningful).
+  std::uint64_t min_clicks = 100;
+  /// Space-Saving counters used to track the top duplicate sources.
+  std::size_t offender_capacity = 1024;
+};
+
+class FraudAuditor {
+ public:
+  using Options = FraudAuditorOptions;
+
+  explicit FraudAuditor(Options opts = {})
+      : opts_(opts), offenders_(opts.offender_capacity) {}
+
+  /// Feed one click with the billing pipeline's duplicate verdict.
+  void observe(const stream::Click& click, bool duplicate);
+
+  /// Per-publisher risk, sorted by duplicate rate descending.
+  std::vector<PublisherRisk> report() const;
+
+  /// The source IPs behind the most duplicate verdicts (Space-Saving top-k:
+  /// counts are upper bounds, count-error lower bounds — see
+  /// analysis/heavy_hitters.hpp). These are the bot addresses to block.
+  std::vector<analysis::SpaceSaving::Entry> top_offenders(
+      std::size_t n) const {
+    return offenders_.top(n);
+  }
+
+  std::uint64_t observed() const noexcept { return observed_; }
+
+ private:
+  struct Tally {
+    std::uint64_t clicks = 0;
+    std::uint64_t duplicates = 0;
+  };
+
+  Options opts_;
+  std::unordered_map<std::uint32_t, Tally> per_publisher_;
+  analysis::SpaceSaving offenders_;
+  std::uint64_t observed_ = 0;
+};
+
+/// Outcome of replaying one stream through two independent detectors.
+struct JointAuditReport {
+  std::uint64_t clicks = 0;
+  std::uint64_t both_valid = 0;
+  std::uint64_t both_duplicate = 0;
+  /// Publisher would charge, advertiser's audit says duplicate.
+  std::uint64_t publisher_only_valid = 0;
+  /// Advertiser would accept, publisher's side says duplicate.
+  std::uint64_t advertiser_only_valid = 0;
+  /// Money at stake in the disagreements, at `bid` per click.
+  Micros disputed = 0;
+
+  std::uint64_t disagreements() const noexcept {
+    return publisher_only_valid + advertiser_only_valid;
+  }
+  double agreement_rate() const noexcept {
+    return clicks == 0 ? 1.0
+                       : 1.0 - static_cast<double>(disagreements()) /
+                                   static_cast<double>(clicks);
+  }
+};
+
+/// Replays `clicks` through both parties' detectors in lockstep.
+JointAuditReport run_joint_audit(
+    core::DuplicateDetector& publisher_side,
+    core::DuplicateDetector& advertiser_side,
+    const std::vector<stream::Click>& clicks, Micros bid_per_click,
+    stream::IdentifierPolicy policy = stream::IdentifierPolicy::kIpAndAd);
+
+}  // namespace ppc::adnet

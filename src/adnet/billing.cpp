@@ -1,0 +1,115 @@
+#include "adnet/billing.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ppc::adnet {
+
+std::string format_dollars(Micros m) {
+  std::ostringstream os;
+  const bool negative = m < 0;
+  if (negative) m = -m;
+  os << (negative ? "-$" : "$") << m / 1'000'000 << '.';
+  const Micros cents = (m % 1'000'000) / 10'000;
+  if (cents < 10) os << '0';
+  os << cents;
+  return os.str();
+}
+
+const char* to_string(ClickOutcome outcome) {
+  switch (outcome) {
+    case ClickOutcome::kCharged: return "charged";
+    case ClickOutcome::kDuplicateRejected: return "duplicate-rejected";
+    case ClickOutcome::kBudgetExhausted: return "budget-exhausted";
+    case ClickOutcome::kUnknownAdvertiser: return "unknown-advertiser";
+  }
+  return "?";
+}
+
+BillingEngine::BillingEngine(BillingConfig config,
+                             std::unique_ptr<core::DuplicateDetector> detector)
+    : config_(config), detector_(std::move(detector)) {
+  if (detector_ == nullptr) {
+    throw std::invalid_argument("BillingEngine: detector required");
+  }
+  if (config_.publisher_revenue_share < 0.0 ||
+      config_.publisher_revenue_share > 1.0) {
+    throw std::invalid_argument("BillingEngine: revenue share must be in [0,1]");
+  }
+}
+
+void BillingEngine::register_advertiser(AdvertiserAccount account) {
+  const auto [it, fresh] = advertisers_.emplace(account.id, std::move(account));
+  if (!fresh) {
+    throw std::invalid_argument("BillingEngine: duplicate advertiser id");
+  }
+  advertiser_ids_.push_back(it->first);
+}
+
+void BillingEngine::register_publisher(PublisherAccount account) {
+  const auto [it, fresh] = publishers_.emplace(account.id, std::move(account));
+  if (!fresh) {
+    throw std::invalid_argument("BillingEngine: duplicate publisher id");
+  }
+  publisher_ids_.push_back(it->first);
+}
+
+const AdvertiserAccount& BillingEngine::advertiser(std::uint32_t id) const {
+  const auto it = advertisers_.find(id);
+  if (it == advertisers_.end()) {
+    throw std::out_of_range("BillingEngine: unknown advertiser");
+  }
+  return it->second;
+}
+
+const PublisherAccount& BillingEngine::publisher(std::uint32_t id) const {
+  const auto it = publishers_.find(id);
+  if (it == publishers_.end()) {
+    throw std::out_of_range("BillingEngine: unknown publisher");
+  }
+  return it->second;
+}
+
+ClickOutcome BillingEngine::process(const stream::Click& click) {
+  ++processed_;
+  auto adv_it = advertisers_.find(click.advertiser_id);
+  if (adv_it == advertisers_.end()) return ClickOutcome::kUnknownAdvertiser;
+  AdvertiserAccount& adv = adv_it->second;
+
+  // Every click passes through the detector, even ones we cannot charge:
+  // the stream position must advance identically on both parties' replicas
+  // for the joint-audit story to hold.
+  const core::ClickId id =
+      stream::click_identifier(click, config_.identifier_policy);
+  const bool duplicate = detector_->offer(id, click.time_us);
+
+  auto pub_it = publishers_.find(click.publisher_id);
+  PublisherAccount* pub =
+      pub_it == publishers_.end() ? nullptr : &pub_it->second;
+
+  if (duplicate) {
+    ++rejected_duplicates_;
+    savings_ += adv.bid_per_click;
+    if (pub != nullptr) ++pub->rejected_clicks;
+    rejection_log_.push_back(click);
+    if (rejection_log_.size() > config_.rejection_log_capacity) {
+      rejection_log_.pop_front();
+    }
+    return ClickOutcome::kDuplicateRejected;
+  }
+
+  if (adv.exhausted()) return ClickOutcome::kBudgetExhausted;
+
+  adv.spent += adv.bid_per_click;
+  ++adv.charged_clicks;
+  ++charged_;
+  total_charged_ += adv.bid_per_click;
+  if (pub != nullptr) {
+    pub->earned += static_cast<Micros>(config_.publisher_revenue_share *
+                                       static_cast<double>(adv.bid_per_click));
+    ++pub->delivered_clicks;
+  }
+  return ClickOutcome::kCharged;
+}
+
+}  // namespace ppc::adnet

@@ -1,0 +1,89 @@
+// DetectorPool: one duplicate detector per ad (or per advertiser), created
+// lazily from a shared factory under a global memory cap.
+//
+// Why per-ad detectors: a single shared detector keyed on (identifier, ad)
+// gives every ad the same window in *global* arrivals, so a popular ad's
+// traffic ages out a niche ad's clicks. Per-ad detectors give each ad a
+// window over its OWN click stream — the semantics an advertiser actually
+// buys — at the cost of one filter per active ad, which this pool meters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/duplicate_detector.hpp"
+
+namespace ppc::adnet {
+
+struct DetectorPoolOptions {
+  /// Hard cap on the summed memory_bits() of all live detectors; a click
+  /// for a new ad beyond the cap throws std::length_error (the operator
+  /// must resize or evict, never silently degrade).
+  std::size_t memory_cap_bits = std::size_t{1} << 33;  // 1 GiB
+};
+
+class DetectorPool {
+ public:
+  using Factory = std::function<std::unique_ptr<core::DuplicateDetector>(
+      std::uint32_t ad_id)>;
+  using Options = DetectorPoolOptions;
+
+  DetectorPool(Factory factory, Options opts = {})
+      : factory_(std::move(factory)), opts_(opts) {
+    if (!factory_) {
+      throw std::invalid_argument("DetectorPool: factory required");
+    }
+  }
+
+  /// Routes one click to its ad's detector (creating it on first sight).
+  bool offer(std::uint32_t ad_id, core::ClickId id, std::uint64_t time_us) {
+    return detector_for(ad_id).offer(id, time_us);
+  }
+
+  /// The detector for `ad_id`, creating it if needed.
+  core::DuplicateDetector& detector_for(std::uint32_t ad_id) {
+    auto it = detectors_.find(ad_id);
+    if (it == detectors_.end()) {
+      auto detector = factory_(ad_id);
+      if (detector == nullptr) {
+        throw std::invalid_argument("DetectorPool: factory returned null");
+      }
+      if (memory_bits_ + detector->memory_bits() > opts_.memory_cap_bits) {
+        throw std::length_error("DetectorPool: memory cap exceeded");
+      }
+      memory_bits_ += detector->memory_bits();
+      it = detectors_.emplace(ad_id, std::move(detector)).first;
+    }
+    return *it->second;
+  }
+
+  bool contains(std::uint32_t ad_id) const {
+    return detectors_.contains(ad_id);
+  }
+
+  /// Drops an ad's detector (campaign ended), releasing its budget share.
+  void evict(std::uint32_t ad_id) {
+    auto it = detectors_.find(ad_id);
+    if (it == detectors_.end()) return;
+    memory_bits_ -= it->second->memory_bits();
+    detectors_.erase(it);
+  }
+
+  std::size_t size() const noexcept { return detectors_.size(); }
+  std::size_t memory_bits() const noexcept { return memory_bits_; }
+  std::size_t memory_cap_bits() const noexcept {
+    return opts_.memory_cap_bits;
+  }
+
+ private:
+  Factory factory_;
+  Options opts_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<core::DuplicateDetector>>
+      detectors_;
+  std::size_t memory_bits_ = 0;
+};
+
+}  // namespace ppc::adnet

@@ -1,0 +1,55 @@
+// Domain model of a pay-per-click advertising network: the parties, money,
+// and per-click outcomes that the paper's motivation section describes
+// (advertisers pay per valid click; publishers earn a revenue share;
+// duplicate clicks must not be charged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/click.hpp"
+
+namespace ppc::adnet {
+
+/// Money in micro-dollars: integral, so ledgers add up exactly.
+using Micros = std::int64_t;
+
+constexpr Micros from_dollars(double d) {
+  return static_cast<Micros>(d * 1'000'000.0);
+}
+constexpr double to_dollars(Micros m) {
+  return static_cast<double>(m) / 1'000'000.0;
+}
+std::string format_dollars(Micros m);
+
+struct AdvertiserAccount {
+  std::uint32_t id = 0;
+  std::string name;
+  Micros bid_per_click = from_dollars(0.50);
+  Micros budget = from_dollars(1000.0);
+  Micros spent = 0;
+  std::uint64_t charged_clicks = 0;
+
+  bool exhausted() const noexcept { return spent + bid_per_click > budget; }
+  Micros remaining() const noexcept { return budget - spent; }
+};
+
+struct PublisherAccount {
+  std::uint32_t id = 0;
+  std::string name;
+  Micros earned = 0;
+  std::uint64_t delivered_clicks = 0;   ///< clicks it was paid for
+  std::uint64_t rejected_clicks = 0;    ///< its clicks flagged duplicate
+};
+
+/// Verdict of the billing pipeline for one click.
+enum class ClickOutcome : std::uint8_t {
+  kCharged,            ///< valid: advertiser charged, publisher credited
+  kDuplicateRejected,  ///< flagged by the duplicate detector, not charged
+  kBudgetExhausted,    ///< valid but the advertiser's budget ran out
+  kUnknownAdvertiser,  ///< no registered account for the click's ad
+};
+
+const char* to_string(ClickOutcome outcome);
+
+}  // namespace ppc::adnet

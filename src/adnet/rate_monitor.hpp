@@ -1,0 +1,106 @@
+// DuplicateRateMonitor: online attack-onset detection from the duplicate
+// verdict stream.
+//
+// The paper's §6 future work asks for "various sophisticated click fraud
+// attacks" handling; the first operational need is knowing WHEN an attack
+// starts and stops. This monitor keeps an exponentially-weighted moving
+// average of the duplicate rate, a slow baseline of the same, and raises
+// an alarm (with hysteresis) when the fast average exceeds the baseline by
+// a configurable factor — robust to the absolute organic duplicate level,
+// which varies by traffic mix.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace ppc::adnet {
+
+struct DuplicateRateMonitorOptions {
+  /// Smoothing factor of the fast rate estimate (per click). ~1/alpha
+  /// clicks of reaction lag.
+  double fast_alpha = 1.0 / 500;
+  /// Smoothing factor of the slow baseline; must be ≪ fast_alpha.
+  double slow_alpha = 1.0 / 50'000;
+  /// Alarm when fast > trigger_ratio · max(baseline, floor).
+  double trigger_ratio = 2.0;
+  /// Clear when fast < clear_ratio · max(baseline, floor) (hysteresis).
+  double clear_ratio = 1.5;
+  /// Baseline floor so a pristine stream can still alarm.
+  double baseline_floor = 0.01;
+  /// Ignore the first clicks while the estimates warm up.
+  std::uint64_t warmup_clicks = 2'000;
+};
+
+class DuplicateRateMonitor {
+ public:
+  using Options = DuplicateRateMonitorOptions;
+
+  struct Transition {
+    std::uint64_t at_click = 0;  ///< arrival index of the transition
+    bool attack_started = false;  ///< true = alarm raised, false = cleared
+  };
+
+  explicit DuplicateRateMonitor(Options opts = {}) : opts_(opts) {
+    if (opts.fast_alpha <= 0 || opts.fast_alpha > 1 || opts.slow_alpha <= 0 ||
+        opts.slow_alpha >= opts.fast_alpha) {
+      throw std::invalid_argument(
+          "DuplicateRateMonitor: need 0 < slow_alpha < fast_alpha <= 1");
+    }
+    if (opts.clear_ratio > opts.trigger_ratio) {
+      throw std::invalid_argument(
+          "DuplicateRateMonitor: clear_ratio must not exceed trigger_ratio");
+    }
+  }
+
+  /// Feed one verdict; returns true iff the alarm state changed.
+  bool observe(bool duplicate) {
+    ++clicks_;
+    const double x = duplicate ? 1.0 : 0.0;
+    if (clicks_ <= opts_.warmup_clicks) {
+      // During warmup both estimates track the plain running mean: EWMAs
+      // started at zero would leave the baseline far below the organic
+      // level and fire a spurious alarm the moment warmup ends.
+      const double mean_alpha = 1.0 / static_cast<double>(clicks_);
+      fast_ += mean_alpha * (x - fast_);
+      slow_ = fast_;
+      return false;
+    }
+    fast_ += opts_.fast_alpha * (x - fast_);
+    // Freeze the baseline while alarmed, so a long attack cannot launder
+    // itself into the "normal" level.
+    if (!alarmed_) slow_ += opts_.slow_alpha * (x - slow_);
+
+    const double reference =
+        slow_ > opts_.baseline_floor ? slow_ : opts_.baseline_floor;
+    if (!alarmed_ && fast_ > opts_.trigger_ratio * reference) {
+      alarmed_ = true;
+      transitions_.push_back({clicks_, true});
+      return true;
+    }
+    if (alarmed_ && fast_ < opts_.clear_ratio * reference) {
+      alarmed_ = false;
+      transitions_.push_back({clicks_, false});
+      return true;
+    }
+    return false;
+  }
+
+  bool alarmed() const noexcept { return alarmed_; }
+  double fast_rate() const noexcept { return fast_; }
+  double baseline_rate() const noexcept { return slow_; }
+  std::uint64_t clicks() const noexcept { return clicks_; }
+  const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  Options opts_;
+  std::uint64_t clicks_ = 0;
+  double fast_ = 0.0;
+  double slow_ = 0.0;
+  bool alarmed_ = false;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace ppc::adnet

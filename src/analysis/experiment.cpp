@@ -1,0 +1,66 @@
+#include "analysis/experiment.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ppc::analysis {
+
+std::string ConfusionCounts::summary() const {
+  std::ostringstream os;
+  os << "dup=" << true_duplicate << " fp=" << false_positive
+     << " fn=" << false_negative << " fresh=" << true_fresh
+     << " fpr=" << false_positive_rate() << " fnr=" << false_negative_rate();
+  return os.str();
+}
+
+double measure_fpr_distinct(core::DuplicateDetector& detector,
+                            const DistinctRunConfig& cfg) {
+  if (cfg.measure_last > cfg.total) {
+    throw std::invalid_argument("measure_last must not exceed total");
+  }
+  const std::uint64_t warmup = cfg.total - cfg.measure_last;
+  std::uint64_t false_positives = 0;
+  for (std::uint64_t i = 0; i < cfg.total; ++i) {
+    // Identifiers (seed<<32)+i never repeat within or across typical runs;
+    // the detector hashes them, so sequential values are fine.
+    const core::ClickId id = (cfg.id_seed << 32) + i;
+    const bool verdict = detector.offer(id, /*time_us=*/i);
+    if (verdict && i >= warmup) ++false_positives;
+  }
+  return cfg.measure_last == 0
+             ? 0.0
+             : static_cast<double>(false_positives) /
+                   static_cast<double>(cfg.measure_last);
+}
+
+ConfusionCounts compare_with_truth(core::DuplicateDetector& sketch,
+                                   core::DuplicateDetector& truth,
+                                   stream::ClickGenerator& gen,
+                                   std::uint64_t count,
+                                   stream::IdentifierPolicy policy) {
+  ConfusionCounts counts;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const stream::Click click = gen.next();
+    const core::ClickId id = stream::click_identifier(click, policy);
+    const bool sketch_dup = sketch.offer(id, click.time_us);
+    const bool truth_dup = truth.offer(id, click.time_us);
+    counts.record(sketch_dup, truth_dup);
+  }
+  return counts;
+}
+
+ConfusionCounts compare_with_truth_ids(
+    core::DuplicateDetector& sketch, core::DuplicateDetector& truth,
+    const std::function<std::uint64_t(std::uint64_t)>& id_at,
+    std::uint64_t count) {
+  ConfusionCounts counts;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const core::ClickId id = id_at(i);
+    const bool sketch_dup = sketch.offer(id, /*time_us=*/i);
+    const bool truth_dup = truth.offer(id, /*time_us=*/i);
+    counts.record(sketch_dup, truth_dup);
+  }
+  return counts;
+}
+
+}  // namespace ppc::analysis

@@ -1,0 +1,44 @@
+// Experiment harness shared by the figure benches and the statistical
+// tests: runs detectors over synthetic streams and measures FP/FN rates,
+// reproducing the paper's §5 protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/metrics.hpp"
+#include "core/duplicate_detector.hpp"
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+
+namespace ppc::analysis {
+
+/// The paper's §5 protocol: feed `total` *distinct* identifiers and count
+/// duplicate verdicts (all false positives) over the trailing
+/// `measure_last` arrivals, "to make sure the filter has been stable".
+struct DistinctRunConfig {
+  std::uint64_t total = 0;
+  std::uint64_t measure_last = 0;
+  std::uint64_t id_seed = 0;  ///< offsets the identifier space across runs
+};
+
+/// Measured FP rate of `detector` on a duplicate-free stream.
+double measure_fpr_distinct(core::DuplicateDetector& detector,
+                            const DistinctRunConfig& cfg);
+
+/// Runs `sketch` and `truth` (an exact detector with identical window
+/// semantics) in lockstep over `count` clicks from `gen`, tallying the
+/// confusion matrix under `policy`.
+ConfusionCounts compare_with_truth(
+    core::DuplicateDetector& sketch, core::DuplicateDetector& truth,
+    stream::ClickGenerator& gen, std::uint64_t count,
+    stream::IdentifierPolicy policy = stream::IdentifierPolicy::kIpAndAd);
+
+/// Same, for raw identifier streams produced by a callable
+/// `std::uint64_t(std::uint64_t arrival_index)`.
+ConfusionCounts compare_with_truth_ids(
+    core::DuplicateDetector& sketch, core::DuplicateDetector& truth,
+    const std::function<std::uint64_t(std::uint64_t)>& id_at,
+    std::uint64_t count);
+
+}  // namespace ppc::analysis

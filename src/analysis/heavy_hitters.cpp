@@ -1,0 +1,66 @@
+#include "analysis/heavy_hitters.hpp"
+
+namespace ppc::analysis {
+
+void SpaceSaving::increment(BucketList::iterator bucket, ItemIter item) {
+  const std::uint64_t new_count = bucket->count + 1;
+  auto next = std::next(bucket);
+  if (next == buckets_.end() || next->count != new_count) {
+    next = buckets_.insert(next, Bucket{new_count, {}});
+  }
+  next->items.splice(next->items.begin(), bucket->items, item);
+  bucket_of_[item->key] = next;
+  item->count = new_count;
+  if (bucket->items.empty()) buckets_.erase(bucket);
+}
+
+void SpaceSaving::offer(std::uint64_t key) {
+  ++stream_length_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    increment(bucket_of_[key], it->second);
+    return;
+  }
+
+  if (index_.size() < capacity_) {
+    // Room available: start monitoring at count 1, no error.
+    if (buckets_.empty() || buckets_.front().count != 1) {
+      buckets_.insert(buckets_.begin(), Bucket{1, {}});
+    }
+    auto bucket = buckets_.begin();
+    bucket->items.push_front(Entry{key, 1, 0});
+    index_[key] = bucket->items.begin();
+    bucket_of_[key] = bucket;
+    return;
+  }
+
+  // Evict a minimum-count entry: the newcomer inherits its count as error
+  // (the Space-Saving overestimation bound).
+  auto min_bucket = buckets_.begin();
+  ItemIter victim = std::prev(min_bucket->items.end());
+  index_.erase(victim->key);
+  bucket_of_.erase(victim->key);
+  const std::uint64_t inherited = min_bucket->count;
+  victim->key = key;
+  victim->error = inherited;
+  index_[key] = victim;
+  bucket_of_[key] = min_bucket;
+  increment(min_bucket, victim);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries() const {
+  std::vector<Entry> out;
+  out.reserve(index_.size());
+  for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it) {
+    for (const Entry& e : it->items) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t n) const {
+  auto all = entries();
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+}  // namespace ppc::analysis

@@ -1,0 +1,85 @@
+// Space-Saving heavy hitters (Metwally, Agrawal & El Abbadi, ICDT'05) —
+// the same authors' streaming top-k structure, used here to answer the
+// follow-up question every flagged duplicate raises: *which* identifiers
+// (bot IPs, cookies) are doing the duplicating?
+//
+// Classic guarantees: with `capacity` counters, any identifier whose true
+// frequency exceeds stream_length / capacity is guaranteed to be tracked,
+// and every reported count overestimates the true count by at most the
+// reported `error`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ppc::analysis {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  ///< upper bound on the true frequency
+    std::uint64_t error = 0;  ///< count - error lower-bounds the truth
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpaceSaving: capacity must be >= 1");
+    }
+  }
+
+  /// Records one occurrence of `key`. O(1) amortized.
+  void offer(std::uint64_t key);
+
+  /// All monitored entries, sorted by count descending.
+  std::vector<Entry> entries() const;
+
+  /// The top `n` entries (n may exceed the monitored count).
+  std::vector<Entry> top(std::size_t n) const;
+
+  /// True iff `key` is *guaranteed* to have frequency > stream/capacity
+  /// (count - error still exceeds the threshold).
+  bool guaranteed_frequent(std::uint64_t key,
+                           std::uint64_t threshold) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const Entry& e = *it->second;
+    return e.count - e.error > threshold;
+  }
+
+  std::uint64_t stream_length() const noexcept { return stream_length_; }
+  std::size_t monitored() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear() {
+    buckets_.clear();
+    index_.clear();
+    stream_length_ = 0;
+  }
+
+ private:
+  // Stream-Summary structure: buckets in ascending count order, each
+  // holding the entries that currently share that count. Incrementing an
+  // entry moves it to the next bucket in O(1).
+  struct Bucket {
+    std::uint64_t count;
+    std::list<Entry> items;
+  };
+
+  using BucketList = std::list<Bucket>;
+  using ItemIter = std::list<Entry>::iterator;
+
+  void increment(BucketList::iterator bucket, ItemIter item);
+
+  std::size_t capacity_;
+  BucketList buckets_;  // ascending by count
+  std::unordered_map<std::uint64_t, ItemIter> index_;
+  std::unordered_map<std::uint64_t, BucketList::iterator> bucket_of_;
+  std::uint64_t stream_length_ = 0;
+};
+
+}  // namespace ppc::analysis

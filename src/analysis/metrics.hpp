@@ -1,0 +1,56 @@
+// Confusion-matrix accounting for duplicate detection.
+//
+// Ground truth comes from an exact detector run in lockstep; the sketch
+// detector's verdicts are tallied against it. On duplicate-free streams
+// (the paper's §5 setup) every "duplicate" verdict is a false positive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppc::analysis {
+
+struct ConfusionCounts {
+  std::uint64_t true_duplicate = 0;   ///< both say duplicate
+  std::uint64_t false_positive = 0;   ///< sketch says duplicate, truth fresh
+  std::uint64_t false_negative = 0;   ///< sketch says fresh, truth duplicate
+  std::uint64_t true_fresh = 0;       ///< both say fresh
+
+  std::uint64_t total() const noexcept {
+    return true_duplicate + false_positive + false_negative + true_fresh;
+  }
+
+  /// FP rate among truly-fresh clicks (what Figures 1/2 plot).
+  double false_positive_rate() const noexcept {
+    const std::uint64_t fresh = false_positive + true_fresh;
+    return fresh == 0 ? 0.0
+                      : static_cast<double>(false_positive) / fresh;
+  }
+
+  /// FN rate among true duplicates (zero for GBF/TBF by Theorems 1/2).
+  double false_negative_rate() const noexcept {
+    const std::uint64_t dups = true_duplicate + false_negative;
+    return dups == 0 ? 0.0
+                     : static_cast<double>(false_negative) / dups;
+  }
+
+  ConfusionCounts& operator+=(const ConfusionCounts& o) noexcept {
+    true_duplicate += o.true_duplicate;
+    false_positive += o.false_positive;
+    false_negative += o.false_negative;
+    true_fresh += o.true_fresh;
+    return *this;
+  }
+
+  void record(bool sketch_duplicate, bool truth_duplicate) noexcept {
+    if (truth_duplicate) {
+      sketch_duplicate ? ++true_duplicate : ++false_negative;
+    } else {
+      sketch_duplicate ? ++false_positive : ++true_fresh;
+    }
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace ppc::analysis

@@ -1,0 +1,87 @@
+#include "analysis/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/theory.hpp"
+
+namespace ppc::analysis {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+void check_fpr(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("sizing: target FP rate must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+std::uint64_t bloom_bits_for(double n, double target_fpr) {
+  check_fpr(target_fpr);
+  if (n <= 0) return 1;
+  return static_cast<std::uint64_t>(
+      std::ceil(-n * std::log(target_fpr) / (kLn2 * kLn2)));
+}
+
+GbfPlan plan_gbf(std::uint64_t window_n, std::uint32_t q, double target_fpr) {
+  check_fpr(target_fpr);
+  if (q == 0) throw std::invalid_argument("plan_gbf: q must be >= 1");
+  // The window FP is 1-(1-f_sub)^Q ≈ Q·f_sub, so each sub-filter must hit
+  // f_sub ≈ p/Q on its n/Q elements.
+  const double n_sub = std::ceil(static_cast<double>(window_n) / q);
+  const double f_sub = target_fpr / q;
+
+  GbfPlan plan;
+  plan.bits_per_subfilter = bloom_bits_for(n_sub, f_sub);
+  plan.hash_count = optimal_k(static_cast<double>(plan.bits_per_subfilter),
+                              n_sub);
+  // Integer-k rounding can nudge the realized rate above target; widen the
+  // filter until the exact formula clears it.
+  while (gbf_fpr_upper(static_cast<double>(plan.bits_per_subfilter),
+                       static_cast<double>(window_n), q,
+                       plan.hash_count) > target_fpr) {
+    plan.bits_per_subfilter += plan.bits_per_subfilter / 16 + 1;
+    plan.hash_count = optimal_k(static_cast<double>(plan.bits_per_subfilter),
+                                n_sub);
+  }
+  plan.total_bits = plan.bits_per_subfilter * (q + 1);
+  plan.predicted_fpr =
+      gbf_fpr_upper(static_cast<double>(plan.bits_per_subfilter),
+                    static_cast<double>(window_n), q, plan.hash_count);
+  return plan;
+}
+
+TbfPlan plan_tbf(std::uint64_t window_n, double target_fpr, std::uint64_t c) {
+  check_fpr(target_fpr);
+  TbfPlan plan;
+  plan.c = c != 0 ? c : std::max<std::uint64_t>(1, window_n - 1);
+  plan.entries = bloom_bits_for(static_cast<double>(window_n), target_fpr);
+  plan.hash_count = optimal_k(static_cast<double>(plan.entries),
+                              static_cast<double>(window_n));
+  while (tbf_fpr(static_cast<double>(plan.entries),
+                 static_cast<double>(window_n),
+                 plan.hash_count) > target_fpr) {
+    plan.entries += plan.entries / 16 + 1;
+    plan.hash_count = optimal_k(static_cast<double>(plan.entries),
+                                static_cast<double>(window_n));
+  }
+  plan.entry_bits = tbf_entry_bits(window_n, plan.c);
+  plan.total_bits = plan.entries * plan.entry_bits;
+  plan.predicted_fpr = tbf_fpr(static_cast<double>(plan.entries),
+                               static_cast<double>(window_n), plan.hash_count);
+  return plan;
+}
+
+double tbf_over_gbf_memory_ratio(std::uint64_t window_n, std::uint32_t q,
+                                 double target_fpr) {
+  const auto gbf = plan_gbf(window_n, q, target_fpr);
+  const auto tbf = plan_tbf(window_n, target_fpr);
+  return static_cast<double>(tbf.total_bits) /
+         static_cast<double>(gbf.total_bits);
+}
+
+}  // namespace ppc::analysis

@@ -1,0 +1,52 @@
+// Capacity planning: invert the false-positive formulas so operators can
+// ask "I want FP ≤ p over a window of N — how much memory and how many
+// hash functions?" instead of hand-tuning m and k.
+//
+// All plans use the classical optimal-k sizing m = -n·ln(p)/(ln 2)², then
+// round k to the nearest integer and m up to keep the target.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/window.hpp"
+
+namespace ppc::analysis {
+
+/// Plan for a GBF deployment (jumping windows).
+struct GbfPlan {
+  std::uint64_t bits_per_subfilter = 0;  ///< m
+  std::size_t hash_count = 0;            ///< k
+  std::uint64_t total_bits = 0;          ///< m · (Q+1)
+  double predicted_fpr = 0.0;            ///< over the full window
+};
+
+/// Plan for a TBF deployment (sliding windows, large-Q jumping windows).
+struct TbfPlan {
+  std::uint64_t entries = 0;      ///< m
+  std::size_t hash_count = 0;     ///< k
+  std::size_t entry_bits = 0;     ///< ⌈log₂(N+C+1)⌉
+  std::uint64_t c = 0;            ///< wraparound slack used
+  std::uint64_t total_bits = 0;   ///< entries · entry_bits
+  double predicted_fpr = 0.0;
+};
+
+/// Classical Bloom sizing: bits needed for n elements at FP target p.
+std::uint64_t bloom_bits_for(double n, double target_fpr);
+
+/// Sizes a GBF for a count-based jumping window of `window_n` elements in
+/// `q` sub-windows such that the whole-window FP rate is ≤ `target_fpr`.
+/// @throws std::invalid_argument for p outside (0, 1) or q == 0.
+GbfPlan plan_gbf(std::uint64_t window_n, std::uint32_t q, double target_fpr);
+
+/// Sizes a TBF for a sliding window of `window_n` elements at FP target
+/// `target_fpr`, with slack `c` (0 = paper default N-1).
+TbfPlan plan_tbf(std::uint64_t window_n, double target_fpr,
+                 std::uint64_t c = 0);
+
+/// Memory ratio of the two plans for the same window — the quantitative
+/// version of the paper's "GBF for small Q, TBF otherwise" guidance.
+double tbf_over_gbf_memory_ratio(std::uint64_t window_n, std::uint32_t q,
+                                 double target_fpr);
+
+}  // namespace ppc::analysis

@@ -1,0 +1,76 @@
+#include "analysis/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppc::analysis {
+
+double bloom_fpr(double m, double n, std::size_t k) {
+  if (n <= 0) return 0.0;
+  // (1 - (1-1/m)^{kn})^k, evaluated in log space for numerical stability
+  // at large m·n.
+  const double log_one_minus = std::log1p(-1.0 / m);
+  const double p_bit_zero = std::exp(static_cast<double>(k) * n * log_one_minus);
+  return std::pow(1.0 - p_bit_zero, static_cast<double>(k));
+}
+
+double bloom_fpr_approx(double m, double n, std::size_t k) {
+  if (n <= 0) return 0.0;
+  const double kd = static_cast<double>(k);
+  return std::pow(1.0 - std::exp(-kd * n / m), kd);
+}
+
+std::size_t optimal_k(double m, double n) {
+  if (n <= 0) return 1;
+  const double k = std::round(std::log(2.0) * m / n);
+  return static_cast<std::size_t>(std::clamp(k, 1.0, 64.0));
+}
+
+double gbf_fpr_upper(double m, double window_n, std::uint32_t q,
+                     std::size_t k) {
+  const double n_sub = std::ceil(window_n / q);
+  const double f_sub = bloom_fpr(m, n_sub, k);
+  return 1.0 - std::pow(1.0 - f_sub, static_cast<double>(q));
+}
+
+double gbf_fpr_mean(double m, double window_n, std::uint32_t q,
+                    std::size_t k) {
+  const double n_sub = std::ceil(window_n / q);
+  const double f_full = bloom_fpr(m, n_sub, k);
+  const double survive_full = std::pow(1.0 - f_full, static_cast<double>(q - 1));
+  // Average the current sub-filter's contribution over its fill 0..n_sub.
+  // 64 sample points are plenty: f is smooth in n.
+  constexpr int kSamples = 64;
+  double acc = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double fill = n_sub * (i + 0.5) / kSamples;
+    acc += 1.0 - survive_full * (1.0 - bloom_fpr(m, fill, k));
+  }
+  return acc / kSamples;
+}
+
+double tbf_fpr(double m_entries, double window_n, std::size_t k) {
+  return bloom_fpr(m_entries, window_n, k);
+}
+
+double metwally_main_fpr(double m_cells, double window_n, std::size_t k) {
+  return bloom_fpr(m_cells, window_n, k);
+}
+
+std::size_t tbf_entry_bits(std::uint64_t ticks, std::uint64_t c) {
+  const std::uint64_t wrap = ticks + c;
+  std::size_t bits = 0;
+  while ((std::uint64_t{1} << bits) < wrap + 1) ++bits;
+  return bits;
+}
+
+double gbf_memory_bits(double m, std::uint32_t q) { return m * (q + 1); }
+
+double metwally_memory_bits(double m_cells, std::uint32_t q,
+                            std::size_t sub_counter_bits,
+                            std::size_t main_counter_bits) {
+  return m_cells * (static_cast<double>(q) * sub_counter_bits +
+                    static_cast<double>(main_counter_bits));
+}
+
+}  // namespace ppc::analysis

@@ -1,0 +1,58 @@
+// Closed-form false-positive-rate formulas used for the paper's
+// "theoretical result" curves (Figures 1, 2a, 2b) and for sizing filters.
+//
+// All formulas are the exact finite-m expressions, not the e^{-kn/m}
+// asymptotics, so experiment-vs-theory comparisons are apples-to-apples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppc::analysis {
+
+/// Classical Bloom filter: P(false positive) after n distinct inserts into
+/// m bits with k hash functions: (1 - (1 - 1/m)^{kn})^k.
+double bloom_fpr(double m, double n, std::size_t k);
+
+/// The familiar (1 - e^{-kn/m})^k approximation.
+double bloom_fpr_approx(double m, double n, std::size_t k);
+
+/// FP-minimizing integer k = round(ln2 · m/n), clamped to [1, 64].
+std::size_t optimal_k(double m, double n);
+
+/// GBF over a jumping window of N elements in Q sub-windows, m bits per
+/// sub-filter (§3.2): a fresh element is flagged iff *some* active
+/// sub-filter false-positives. Upper bound: all Q probed sub-filters full
+/// with N/Q elements each.
+double gbf_fpr_upper(double m, double window_n, std::uint32_t q,
+                     std::size_t k);
+
+/// Mean over a sub-window's lifetime: Q-1 full sub-filters plus the current
+/// one averaged across its fill 0..N/Q. Matches what an experiment that
+/// counts false positives over many arrivals actually measures.
+double gbf_fpr_mean(double m, double window_n, std::uint32_t q,
+                    std::size_t k);
+
+/// TBF over a sliding window of N elements with m timestamp entries (§4.2):
+/// expired-but-unreclaimed timestamps fail the activity check, so only the
+/// N in-window elements contribute — a classical Bloom filter with n = N.
+double tbf_fpr(double m_entries, double window_n, std::size_t k);
+
+/// The Metwally et al. jumping scheme's main counting filter holds all N
+/// window elements in one m-cell filter (§3.3), so its FP rate is that of
+/// a classical Bloom filter with n = N — the exploding curve of Figure 1.
+double metwally_main_fpr(double m_cells, double window_n, std::size_t k);
+
+/// TBF entry width for a window of `ticks` ticks and slack C:
+/// ⌈log₂(ticks + C + 1)⌉ (timestamps 0..ticks+C-1 plus the EMPTY code).
+std::size_t tbf_entry_bits(std::uint64_t ticks, std::uint64_t c);
+
+/// Memory (bits) each algorithm needs for the same jumping window, used by
+/// the memory-accounting tables: GBF = m(Q+1); Metwally = m·w_sub·Q +
+/// m·w_main.
+double gbf_memory_bits(double m, std::uint32_t q);
+double metwally_memory_bits(double m_cells, std::uint32_t q,
+                            std::size_t sub_counter_bits,
+                            std::size_t main_counter_bits);
+
+}  // namespace ppc::analysis

@@ -1,0 +1,235 @@
+// ValidityOracle: exact window bookkeeping over *externally decided*
+// validity.
+//
+// Definition 1 makes "duplicate" relative to clicks "determined as valid" —
+// and the detector itself is the thing doing the determining. The zero-
+// false-negative theorems therefore say: if the DETECTOR validated an
+// identical click inside the current window, it must flag the new arrival.
+// Comparing against an independent exact detector tests a different (and
+// false) property, because one false positive diverges the two validity
+// states forever after.
+//
+// These oracles replay the window semantics exactly, but take each click's
+// validity verdict from the sketch under test. A false negative against
+// this oracle is a genuine theorem violation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/duplicate_detector.hpp"
+
+namespace ppc::analysis {
+
+class ValidityOracle {
+ public:
+  virtual ~ValidityOracle() = default;
+  /// Advance time-driven expiry to `time_us` (no-op for count windows).
+  /// Must run before contains_valid() for each arrival.
+  virtual void advance(std::uint64_t /*time_us*/) {}
+  /// Is a validated identical click inside the current window? (Query is
+  /// made *before* recording the new arrival.)
+  virtual bool contains_valid(std::uint64_t id) const = 0;
+  /// Record the arrival and whether the sketch validated it.
+  virtual void record(std::uint64_t id, bool validated,
+                      std::uint64_t time_us) = 0;
+};
+
+/// Sliding count-based window of the last N arrivals.
+class SlidingOracle final : public ValidityOracle {
+ public:
+  explicit SlidingOracle(std::uint64_t n) : n_(n) {}
+
+  bool contains_valid(std::uint64_t id) const override {
+    return valid_.contains(id);
+  }
+
+  void record(std::uint64_t id, bool validated, std::uint64_t) override {
+    ring_.emplace_back(id, validated);
+    if (validated) ++valid_[id];
+    // The window at the NEXT query is "that arrival + previous N-1", so
+    // keep only the most recent N-1 arrivals here.
+    while (ring_.size() > n_ - 1) {
+      const auto& old = ring_.front();
+      if (old.second) forget(old.first);
+      ring_.pop_front();
+    }
+  }
+
+ private:
+  void forget(std::uint64_t id) {
+    auto it = valid_.find(id);
+    if (it != valid_.end() && --it->second == 0) valid_.erase(it);
+  }
+
+  std::uint64_t n_;
+  std::deque<std::pair<std::uint64_t, bool>> ring_;
+  std::unordered_map<std::uint64_t, std::uint32_t> valid_;
+};
+
+/// Jumping count-based window: current partial sub-window + Q-1 full ones.
+class JumpingOracle final : public ValidityOracle {
+ public:
+  JumpingOracle(std::uint64_t n, std::uint32_t q)
+      : sub_len_((n + q - 1) / q), q_(q) {}
+
+  bool contains_valid(std::uint64_t id) const override {
+    return valid_.contains(id);
+  }
+
+  void record(std::uint64_t id, bool validated, std::uint64_t) override {
+    if (validated) {
+      current_.push_back(id);
+      ++valid_[id];
+    }
+    if (++fill_ == sub_len_) {
+      fill_ = 0;
+      full_.push_back(std::move(current_));
+      current_.clear();
+      if (full_.size() == q_) {
+        for (std::uint64_t old : full_.front()) forget(old);
+        full_.pop_front();
+      }
+    }
+  }
+
+ private:
+  void forget(std::uint64_t id) {
+    auto it = valid_.find(id);
+    if (it != valid_.end() && --it->second == 0) valid_.erase(it);
+  }
+
+  std::uint64_t sub_len_;
+  std::uint32_t q_;
+  std::uint64_t fill_ = 0;
+  std::vector<std::uint64_t> current_;
+  std::deque<std::vector<std::uint64_t>> full_;
+  std::unordered_map<std::uint64_t, std::uint32_t> valid_;
+};
+
+/// Time-based sliding window at time-unit granularity (matches TBF ticks).
+class TimeSlidingOracle final : public ValidityOracle {
+ public:
+  TimeSlidingOracle(std::uint64_t window_units, std::uint64_t unit_us)
+      : window_units_(window_units), unit_us_(unit_us) {}
+
+  bool contains_valid(std::uint64_t id) const override {
+    return valid_.contains(id);
+  }
+
+  void record(std::uint64_t id, bool validated,
+              std::uint64_t time_us) override {
+    advance(time_us);
+    items_.push_back({id, time_us / unit_us_, validated});
+    if (validated) ++valid_[id];
+  }
+
+  /// Expiry runs before the query as well (see ValidityOracle::advance).
+  void advance(std::uint64_t time_us) override {
+    const std::uint64_t unit = time_us / unit_us_;
+    while (!items_.empty() && unit - items_.front().unit >= window_units_) {
+      if (items_.front().validated) forget(items_.front().id);
+      items_.pop_front();
+    }
+  }
+
+ private:
+  struct Item {
+    std::uint64_t id;
+    std::uint64_t unit;
+    bool validated;
+  };
+
+  void forget(std::uint64_t id) {
+    auto it = valid_.find(id);
+    if (it != valid_.end() && --it->second == 0) valid_.erase(it);
+  }
+
+  std::uint64_t window_units_;
+  std::uint64_t unit_us_;
+  std::deque<Item> items_;
+  std::unordered_map<std::uint64_t, std::uint32_t> valid_;
+};
+
+/// Time-based jumping window: sub-windows of `units_per_sub` time units,
+/// anchored at the first recorded arrival (matching GroupBloomFilter's
+/// time-based mode); the window holds the current partial sub-window plus
+/// the previous Q-1 full ones.
+class TimeJumpingOracle final : public ValidityOracle {
+ public:
+  TimeJumpingOracle(std::uint32_t q, std::uint64_t units_per_sub,
+                    std::uint64_t unit_us)
+      : q_(q), units_per_sub_(units_per_sub), unit_us_(unit_us) {}
+
+  void advance(std::uint64_t time_us) override {
+    if (!started_) return;  // the epoch anchors at the first *arrival*
+    const std::uint64_t sub =
+        (time_us / unit_us_ - epoch_unit_) / units_per_sub_;
+    while (current_sub_ < sub) {
+      ++current_sub_;
+      full_.push_back(std::move(current_));
+      current_.clear();
+      if (full_.size() == q_) {
+        for (std::uint64_t old : full_.front()) forget(old);
+        full_.pop_front();
+      }
+    }
+  }
+
+  bool contains_valid(std::uint64_t id) const override {
+    return valid_.contains(id);
+  }
+
+  void record(std::uint64_t id, bool validated,
+              std::uint64_t time_us) override {
+    if (!started_) {
+      started_ = true;
+      epoch_unit_ = time_us / unit_us_;
+    }
+    advance(time_us);
+    if (validated) {
+      current_.push_back(id);
+      ++valid_[id];
+    }
+  }
+
+ private:
+  void forget(std::uint64_t id) {
+    auto it = valid_.find(id);
+    if (it != valid_.end() && --it->second == 0) valid_.erase(it);
+  }
+
+  std::uint32_t q_;
+  std::uint64_t units_per_sub_;
+  std::uint64_t unit_us_;
+  bool started_ = false;
+  std::uint64_t epoch_unit_ = 0;
+  std::uint64_t current_sub_ = 0;
+  std::vector<std::uint64_t> current_;
+  std::deque<std::vector<std::uint64_t>> full_;
+  std::unordered_map<std::uint64_t, std::uint32_t> valid_;
+};
+
+/// Runs the sketch against its own validity history. false_negative in the
+/// result is a theorem violation; false_positive counts genuine Bloom-type
+/// FPs (flagging an id with no validated twin in the window).
+inline ConfusionCounts run_self_consistency(
+    core::DuplicateDetector& sketch, ValidityOracle& oracle,
+    const std::vector<std::uint64_t>& ids,
+    const std::vector<std::uint64_t>* times = nullptr) {
+  ConfusionCounts counts;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t t = times != nullptr ? (*times)[i] : i;
+    oracle.advance(t);
+    const bool truth = oracle.contains_valid(ids[i]);
+    const bool verdict = sketch.offer(ids[i], t);
+    counts.record(verdict, truth);
+    oracle.record(ids[i], /*validated=*/!verdict, t);
+  }
+  return counts;
+}
+
+}  // namespace ppc::analysis

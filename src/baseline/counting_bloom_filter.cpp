@@ -1,0 +1,63 @@
+#include "baseline/counting_bloom_filter.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ppc::baseline {
+
+void CountingBloomFilter::increment(std::size_t i) {
+  const std::uint64_t v = counters_.get(i);
+  if (v == counters_.max_value()) {
+    // Already at ceiling: mark sticky-saturated, leave the value pinned.
+    if (saturated_.get(i) == 0) saturated_.set(i, 1);
+    ++saturation_events_;
+    return;
+  }
+  counters_.set(i, v + 1);
+  if (v + 1 == counters_.max_value()) {
+    saturated_.set(i, 1);
+    ++saturation_events_;
+  }
+}
+
+void CountingBloomFilter::decrement(std::size_t i) {
+  if (saturated_.get(i) != 0) return;  // true count unknown; do not guess
+  const std::uint64_t v = counters_.get(i);
+  if (v > 0) counters_.set(i, v - 1);
+}
+
+void CountingBloomFilter::add(const CountingBloomFilter& o) {
+  // Counter widths may differ (the Metwally main filter is wider than the
+  // per-sub-window filters); only the cell count must line up.
+  if (o.cells() != cells()) {
+    throw std::invalid_argument("CountingBloomFilter::add: cell-count mismatch");
+  }
+  for (std::size_t i = 0; i < cells(); ++i) {
+    const std::uint64_t sum = counters_.get(i) + o.counters_.get(i);
+    if (sum >= counters_.max_value() || o.saturated_.get(i) != 0) {
+      counters_.set(i, counters_.max_value());
+      if (saturated_.get(i) == 0) {
+        saturated_.set(i, 1);
+        ++saturation_events_;
+      }
+    } else {
+      counters_.set(i, sum);
+    }
+  }
+}
+
+void CountingBloomFilter::subtract(const CountingBloomFilter& o) {
+  if (o.cells() != cells()) {
+    throw std::invalid_argument(
+        "CountingBloomFilter::subtract: cell-count mismatch");
+  }
+  for (std::size_t i = 0; i < cells(); ++i) {
+    if (saturated_.get(i) != 0) continue;   // pinned: value unrecoverable
+    if (o.saturated_.get(i) != 0) continue; // subtrahend unknown: keep ours
+    const std::uint64_t a = counters_.get(i);
+    const std::uint64_t b = o.counters_.get(i);
+    counters_.set(i, a >= b ? a - b : 0);
+  }
+}
+
+}  // namespace ppc::baseline

@@ -1,0 +1,26 @@
+#include "bits/bit_vector.hpp"
+
+namespace ppc::bits {
+
+void BitVector::reset_range(std::size_t begin, std::size_t end) noexcept {
+  assert(begin <= end && end <= size_);
+  if (begin >= end) return;
+
+  const std::size_t first_word = begin / kWordBits;
+  const std::size_t last_word = (end - 1) / kWordBits;
+  const Word head_mask = ~Word{0} << (begin % kWordBits);
+  // Bits below `end % kWordBits` within the last word; end on a word
+  // boundary means the whole last word is covered.
+  const std::size_t end_off = end % kWordBits;
+  const Word tail_mask = end_off == 0 ? ~Word{0} : ~(~Word{0} << end_off);
+
+  if (first_word == last_word) {
+    words_[first_word] &= ~(head_mask & tail_mask);
+    return;
+  }
+  words_[first_word] &= ~head_mask;
+  for (std::size_t w = first_word + 1; w < last_word; ++w) words_[w] = 0;
+  words_[last_word] &= ~tail_mask;
+}
+
+}  // namespace ppc::bits

@@ -1,0 +1,84 @@
+// Dynamic bit vector backed by 64-bit words.
+//
+// This is the storage substrate of the classical Bloom filter baseline and
+// of per-slot masks in the GBF implementation. Unlike std::vector<bool> it
+// exposes its word array, which the filters need for bulk clearing and for
+// counting set bits cheaply.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppc::bits {
+
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVector() = default;
+
+  /// All-zero vector of `size` bits.
+  explicit BitVector(std::size_t size)
+      : size_(size), words_((size + kWordBits - 1) / kWordBits, 0) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool test(std::size_t i) const noexcept {
+    assert(i < size_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set(std::size_t i) noexcept {
+    assert(i < size_);
+    words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) noexcept {
+    assert(i < size_);
+    words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+
+  /// Sets bit i and returns its previous value (single-pass Bloom insert).
+  bool test_and_set(std::size_t i) noexcept {
+    assert(i < size_);
+    Word& w = words_[i / kWordBits];
+    const Word mask = Word{1} << (i % kWordBits);
+    const bool was = (w & mask) != 0;
+    w |= mask;
+    return was;
+  }
+
+  /// Zeroes every bit. O(words).
+  void clear() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Zeroes bits in [begin, end). Used by incremental-cleaning loops, so it
+  /// is careful to touch only the words that overlap the range.
+  void reset_range(std::size_t begin, std::size_t end) noexcept;
+
+  /// Number of set bits. O(words) via popcount.
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (Word w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  /// Fraction of set bits (Bloom-filter fill factor), 0 for empty vectors.
+  double fill_factor() const noexcept {
+    return size_ == 0 ? 0.0 : static_cast<double>(count()) / size_;
+  }
+
+  std::span<const Word> words() const noexcept { return words_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace ppc::bits

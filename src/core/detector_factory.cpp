@@ -1,0 +1,85 @@
+#include "core/detector_factory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+namespace ppc::core {
+
+namespace {
+
+std::unique_ptr<DuplicateDetector> make_gbf(const WindowSpec& window,
+                                            const DetectorBudget& budget,
+                                            std::uint32_t q) {
+  const std::uint64_t m = budget.total_memory_bits / (q + 1);
+  if (m == 0) {
+    throw std::invalid_argument(
+        "make_detector: memory budget below one bit per sub-filter");
+  }
+  GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = m;
+  opts.hash_count = budget.hash_count;
+  opts.strategy = budget.strategy;
+  opts.seed = budget.seed;
+  return std::make_unique<GroupBloomFilter>(window, opts);
+}
+
+std::unique_ptr<DuplicateDetector> make_tbf(const WindowSpec& window,
+                                            const DetectorBudget& budget) {
+  // Entry width depends on the tick count, which depends on the window;
+  // mirror TimingBloomFilter's own computation to size the table.
+  std::uint64_t ticks = 0;
+  if (window.basis == WindowBasis::kCount) {
+    ticks = window.kind == WindowKind::kSliding ? window.length
+                                                : window.subwindows;
+  } else {
+    ticks = window.length / window.time_unit_us;
+  }
+  const std::uint64_t c =
+      budget.tbf_c != 0 ? budget.tbf_c
+                        : std::max<std::uint64_t>(1, ticks - 1);
+  const std::uint64_t wrap = ticks + c;
+  // Timestamps 0..wrap-1 plus the EMPTY sentinel need wrap+1 codes.
+  const std::size_t width = static_cast<std::size_t>(std::bit_width(wrap));
+  const std::uint64_t entries = budget.total_memory_bits / width;
+  if (entries == 0) {
+    throw std::invalid_argument(
+        "make_detector: memory budget below one timestamp entry");
+  }
+  TimingBloomFilter::Options opts;
+  opts.entries = entries;
+  opts.hash_count = budget.hash_count;
+  opts.c = budget.tbf_c;
+  opts.strategy = budget.strategy;
+  opts.seed = budget.seed;
+  return std::make_unique<TimingBloomFilter>(window, opts);
+}
+
+}  // namespace
+
+std::unique_ptr<DuplicateDetector> make_detector(const WindowSpec& window,
+                                                 const DetectorBudget& budget) {
+  window.validate();
+  switch (window.kind) {
+    case WindowKind::kLandmark: {
+      WindowSpec as_jumping = window;
+      as_jumping.kind = WindowKind::kJumping;
+      as_jumping.subwindows = 1;
+      return make_gbf(as_jumping, budget, 1);
+    }
+    case WindowKind::kJumping:
+      if (window.subwindows <= budget.max_gbf_subwindows ||
+          window.basis == WindowBasis::kTime) {
+        return make_gbf(window, budget, window.subwindows);
+      }
+      return make_tbf(window, budget);
+    case WindowKind::kSliding:
+      return make_tbf(window, budget);
+  }
+  throw std::invalid_argument("make_detector: unknown window kind");
+}
+
+}  // namespace ppc::core

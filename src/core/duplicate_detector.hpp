@@ -1,0 +1,84 @@
+// DuplicateDetector: the public interface every duplicate-click detection
+// algorithm in this library implements (the paper's GBF and TBF, plus all
+// related-work baselines).
+//
+// Semantics follow Definition 1 of the paper: offer() returns true iff an
+// identical click was already accepted as *valid* inside the current
+// decaying window. A click reported non-duplicate is atomically recorded as
+// valid. Detectors are single-stream objects; wrap one per ad (or per
+// identifier policy) and feed clicks in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/op_counter.hpp"
+#include "core/window.hpp"
+
+namespace ppc::core {
+
+/// Canonical click identifier: a 64-bit fingerprint of whatever attribute
+/// combination defines "identical clicks" (source IP, cookie, ad id, ...).
+/// stream::click_identifier() produces these from Click records.
+using ClickId = std::uint64_t;
+
+class DuplicateDetector {
+ public:
+  virtual ~DuplicateDetector() = default;
+
+  DuplicateDetector(const DuplicateDetector&) = delete;
+  DuplicateDetector& operator=(const DuplicateDetector&) = delete;
+
+  /// Processes one arrival. Returns true iff `id` duplicates a valid click
+  /// in the current window; otherwise the click becomes valid.
+  ///
+  /// `time_us` is the click's (monotone non-decreasing) timestamp; count-
+  /// based detectors ignore it. Time-based detectors use it to advance and
+  /// expire window state before classifying the click.
+  bool offer(ClickId id, std::uint64_t time_us = 0) {
+    return do_offer(id, time_us);
+  }
+
+  /// Processes a micro-batch sharing one timestamp; verdicts land in
+  /// `out[i]` for `ids[i]` (out.size() ≥ ids.size()). Semantically
+  /// identical to offering in a loop; detectors override it to pipeline
+  /// hash computation and memory prefetch across elements.
+  virtual void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
+                           std::uint64_t time_us = 0) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out[i] = offer(ids[i], time_us);
+    }
+  }
+
+  /// The window model this detector implements.
+  virtual WindowSpec window() const = 0;
+
+  /// Filter memory footprint in bits, matching the paper's accounting
+  /// (payload storage; excludes O(1) bookkeeping scalars).
+  virtual std::size_t memory_bits() const = 0;
+
+  /// Whether the algorithm guarantees zero false negatives (GBF/TBF: yes;
+  /// Stable Bloom Filter: no).
+  virtual bool zero_false_negatives() const = 0;
+
+  /// Human-readable algorithm name for reports and benches.
+  virtual std::string name() const = 0;
+
+  /// Restores the freshly-constructed state.
+  virtual void reset() = 0;
+
+  /// Routes memory-operation accounting into `ops` (nullptr disables).
+  void set_op_counter(OpCounter* ops) noexcept { ops_ = ops; }
+
+ protected:
+  DuplicateDetector() = default;
+
+  /// Implementation hook for offer() (non-virtual interface idiom, so the
+  /// defaulted-time convenience call is never hidden by overriders).
+  virtual bool do_offer(ClickId id, std::uint64_t time_us) = 0;
+
+  OpCounter* ops_ = nullptr;  ///< optional instrumentation sink.
+};
+
+}  // namespace ppc::core

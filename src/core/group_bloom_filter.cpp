@@ -1,0 +1,251 @@
+#include "core/group_bloom_filter.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/snapshot_io.hpp"
+
+namespace ppc::core {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+GroupBloomFilter::GroupBloomFilter(WindowSpec window, Options opts)
+    : window_(window),
+      bits_per_subfilter_(opts.bits_per_subfilter),
+      subwindows_(window.kind == WindowKind::kLandmark ? 1u
+                                                       : window.subwindows),
+      family_(opts.hash_count, opts.bits_per_subfilter, opts.strategy,
+              opts.seed),
+      matrix_(opts.bits_per_subfilter, subwindows_ + 1) {
+  if (window.kind == WindowKind::kSliding) {
+    throw std::invalid_argument(
+        "GroupBloomFilter: sliding windows need TimingBloomFilter (paper §4)");
+  }
+  window_.validate();
+  if (bits_per_subfilter_ == 0) {
+    throw std::invalid_argument("GroupBloomFilter: m must be positive");
+  }
+
+  if (window_.basis == WindowBasis::kCount) {
+    subwindow_len_ = window_.subwindow_length();
+    clean_stride_ = ceil_div(bits_per_subfilter_, subwindow_len_);
+  } else {
+    const std::uint64_t sub_span_us = window_.length / subwindows_;
+    if (sub_span_us == 0 || sub_span_us % window_.time_unit_us != 0) {
+      throw std::invalid_argument(
+          "GroupBloomFilter: sub-window span must be a positive multiple of "
+          "time_unit_us");
+    }
+    units_per_subwindow_ = sub_span_us / window_.time_unit_us;
+    clean_stride_ = ceil_div(bits_per_subfilter_, units_per_subwindow_);
+  }
+}
+
+void GroupBloomFilter::reset() {
+  matrix_ = bits::SlicedBitMatrix(bits_per_subfilter_, subwindows_ + 1);
+  current_ = 0;
+  cleaning_ = 1;
+  clean_row_ = 0;
+  fill_count_ = 0;
+  current_unit_ = 0;
+  units_into_subwindow_ = 0;
+  time_started_ = false;
+}
+
+void GroupBloomFilter::clean_step(std::uint64_t rows) {
+  if (clean_row_ >= bits_per_subfilter_) return;  // slot already clean
+  const std::uint64_t end =
+      std::min<std::uint64_t>(clean_row_ + rows, bits_per_subfilter_);
+  matrix_.clear_slot_rows(cleaning_, clean_row_, end);
+  if (ops_ != nullptr) ops_->word_writes += end - clean_row_;
+  clean_row_ = end;
+}
+
+void GroupBloomFilter::jump() {
+  // The cleaning slot must be fully zero before it becomes current: the
+  // per-arrival stride guarantees it in the steady state, and finishing any
+  // remainder here only fires when a time-based window jumps with no
+  // arrivals in between.
+  clean_step(bits_per_subfilter_);
+  current_ = cleaning_;
+  cleaning_ = (cleaning_ + 1) % (subwindows_ + 1);
+  clean_row_ = 0;
+}
+
+void GroupBloomFilter::advance_time(std::uint64_t time_us) {
+  const std::uint64_t unit = time_us / window_.time_unit_us;
+  if (!time_started_) {
+    current_unit_ = unit;
+    time_started_ = true;
+    return;
+  }
+  // One cleaning step per elapsed time unit; a sub-window jump every R
+  // units. Long idle gaps simply run the loop until state catches up.
+  while (current_unit_ < unit) {
+    clean_step(clean_stride_);
+    ++current_unit_;
+    if (++units_into_subwindow_ == units_per_subwindow_) {
+      jump();
+      units_into_subwindow_ = 0;
+    }
+  }
+}
+
+bool GroupBloomFilter::probe_and_insert(ClickId id) {
+  std::uint64_t rows[hashing::kMaxHashFunctions];
+  const std::size_t k = family_.k();
+  family_.indices(id, std::span<std::uint64_t>(rows, k));
+  if (ops_ != nullptr) ops_->hash_evals += 1;
+  return probe_and_insert_rows(rows, k);
+}
+
+bool GroupBloomFilter::probe_and_insert_rows(const std::uint64_t* rows,
+                                             std::size_t k) {
+  using Word = bits::SlicedBitMatrix::Word;
+  bool duplicate = false;
+  for (std::size_t lane = 0; lane < matrix_.lanes(); ++lane) {
+    Word acc = matrix_.probe_and(std::span<const std::uint64_t>(rows, k), lane);
+    if (ops_ != nullptr) ops_->word_reads += k;
+    // Mask the expired (cleaning) slot out of the verdict: its residual bits
+    // are stale data from Q+1 sub-windows ago.
+    if (cleaning_ / 64 == lane) {
+      acc &= ~(Word{1} << (cleaning_ % 64));
+    }
+    if (acc != 0) {
+      duplicate = true;
+      break;
+    }
+  }
+  if (duplicate) return true;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    matrix_.set(current_, static_cast<std::size_t>(rows[i]));
+  }
+  if (ops_ != nullptr) ops_->word_writes += k;
+  return false;
+}
+
+void GroupBloomFilter::finish_arrival_count_basis() {
+  // Count-based windows advance on every *arrival* (§1.2: a count-based
+  // window holds the last N items of the stream, duplicates included).
+  if (++fill_count_ == subwindow_len_) {
+    jump();
+    fill_count_ = 0;
+  }
+}
+
+bool GroupBloomFilter::do_offer(ClickId id, std::uint64_t time_us) {
+  if (window_.basis == WindowBasis::kTime) {
+    advance_time(time_us);
+  } else {
+    clean_step(clean_stride_);
+  }
+
+  const bool duplicate = probe_and_insert(id);
+
+  if (window_.basis == WindowBasis::kCount) finish_arrival_count_basis();
+  return duplicate;
+}
+
+void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
+                                   std::span<bool> out,
+                                   std::uint64_t time_us) {
+  if (ids.empty()) return;
+  if (window_.basis == WindowBasis::kTime) {
+    // The time-based path interleaves time advancement; pipelining across
+    // it buys little, so fall back to the loop.
+    DuplicateDetector::offer_batch(ids, out, time_us);
+    return;
+  }
+
+  // Software pipeline: hash element i+1 and prefetch its probe words while
+  // element i is classified, hiding the random-access latency that
+  // dominates large filters.
+  const std::size_t k = family_.k();
+  std::uint64_t rows_a[hashing::kMaxHashFunctions];
+  std::uint64_t rows_b[hashing::kMaxHashFunctions];
+  std::uint64_t* cur = rows_a;
+  std::uint64_t* nxt = rows_b;
+  family_.indices(ids[0], std::span<std::uint64_t>(cur, k));
+  if (ops_ != nullptr) ops_->hash_evals += 1;
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i + 1 < ids.size()) {
+      family_.indices(ids[i + 1], std::span<std::uint64_t>(nxt, k));
+      if (ops_ != nullptr) ops_->hash_evals += 1;
+      for (std::size_t j = 0; j < k; ++j) {
+        matrix_.prefetch_row(static_cast<std::size_t>(nxt[j]));
+      }
+    }
+    clean_step(clean_stride_);
+    out[i] = probe_and_insert_rows(cur, k);
+    finish_arrival_count_basis();
+    std::swap(cur, nxt);
+  }
+}
+
+namespace {
+constexpr std::uint64_t kGbfMagic = 0x50504347'42463031ULL;  // "PPCGBF01"
+}  // namespace
+
+void GroupBloomFilter::save(std::ostream& out) const {
+  detail::write_u64(out, kGbfMagic);
+  detail::write_u64(out, static_cast<std::uint64_t>(window_.kind));
+  detail::write_u64(out, static_cast<std::uint64_t>(window_.basis));
+  detail::write_u64(out, window_.length);
+  detail::write_u64(out, window_.subwindows);
+  detail::write_u64(out, window_.time_unit_us);
+  detail::write_u64(out, bits_per_subfilter_);
+  detail::write_u64(out, family_.k());
+  detail::write_u64(out, static_cast<std::uint64_t>(family_.strategy()));
+  detail::write_u64(out, family_.seed());
+  detail::write_u64(out, current_);
+  detail::write_u64(out, cleaning_);
+  detail::write_u64(out, clean_row_);
+  detail::write_u64(out, fill_count_);
+  detail::write_u64(out, current_unit_);
+  detail::write_u64(out, units_into_subwindow_);
+  detail::write_u64(out, time_started_ ? 1 : 0);
+  detail::write_words(out, matrix_.raw_words());
+  if (!out) throw std::runtime_error("GroupBloomFilter::save: write failed");
+}
+
+std::unique_ptr<GroupBloomFilter> GroupBloomFilter::load(std::istream& in) {
+  detail::expect_magic(in, kGbfMagic, "GroupBloomFilter");
+  WindowSpec window;
+  window.kind = static_cast<WindowKind>(detail::read_u64(in));
+  window.basis = static_cast<WindowBasis>(detail::read_u64(in));
+  window.length = detail::read_u64(in);
+  window.subwindows = static_cast<std::uint32_t>(detail::read_u64(in));
+  window.time_unit_us = detail::read_u64(in);
+  Options opts;
+  opts.bits_per_subfilter = detail::read_u64(in);
+  opts.hash_count = static_cast<std::size_t>(detail::read_u64(in));
+  opts.strategy = static_cast<hashing::IndexStrategy>(detail::read_u64(in));
+  opts.seed = detail::read_u64(in);
+
+  auto gbf = std::make_unique<GroupBloomFilter>(window, opts);
+  gbf->current_ = static_cast<std::size_t>(detail::read_u64(in));
+  gbf->cleaning_ = static_cast<std::size_t>(detail::read_u64(in));
+  gbf->clean_row_ = detail::read_u64(in);
+  gbf->fill_count_ = detail::read_u64(in);
+  gbf->current_unit_ = detail::read_u64(in);
+  gbf->units_into_subwindow_ = detail::read_u64(in);
+  gbf->time_started_ = detail::read_u64(in) != 0;
+  const auto words = detail::read_words(in);
+  gbf->matrix_.set_raw_words(words);
+  if (gbf->current_ > gbf->subwindows_ || gbf->cleaning_ > gbf->subwindows_) {
+    throw std::runtime_error("GroupBloomFilter::load: corrupt slot indices");
+  }
+  return gbf;
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,35 @@
+// Memory-operation accounting used to reproduce the running-time claims of
+// Theorems 1 and 2 (word/entry reads and writes per processed element).
+//
+// Detectors take an optional OpCounter*; the counter is plain data so the
+// instrumented paths stay branch-cheap (one predictable null check).
+#pragma once
+
+#include <cstdint>
+
+namespace ppc::core {
+
+struct OpCounter {
+  std::uint64_t word_reads = 0;    ///< 64-bit word loads from filter memory.
+  std::uint64_t word_writes = 0;   ///< 64-bit word stores to filter memory.
+  std::uint64_t entry_reads = 0;   ///< packed-entry loads (TBF timestamps, CBF counters).
+  std::uint64_t entry_writes = 0;  ///< packed-entry stores.
+  std::uint64_t hash_evals = 0;    ///< full hash-function evaluations.
+
+  std::uint64_t total() const noexcept {
+    return word_reads + word_writes + entry_reads + entry_writes;
+  }
+
+  void reset() noexcept { *this = OpCounter{}; }
+
+  OpCounter& operator+=(const OpCounter& o) noexcept {
+    word_reads += o.word_reads;
+    word_writes += o.word_writes;
+    entry_reads += o.entry_reads;
+    entry_writes += o.entry_writes;
+    hash_evals += o.hash_evals;
+    return *this;
+  }
+};
+
+}  // namespace ppc::core

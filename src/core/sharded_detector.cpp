@@ -1,0 +1,38 @@
+#include "core/sharded_detector.hpp"
+
+#include <stdexcept>
+
+namespace ppc::core {
+
+ShardedDetector::ShardedDetector(std::size_t shards, const Factory& factory)
+    : shards_(shards == 0 ? throw std::invalid_argument(
+                                "ShardedDetector: shards must be >= 1")
+                          : shards) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].detector = factory(s);
+    if (shards_[s].detector == nullptr) {
+      throw std::invalid_argument("ShardedDetector: factory returned null");
+    }
+  }
+}
+
+bool ShardedDetector::do_offer(ClickId id, std::uint64_t time_us) {
+  Shard& shard = shards_[shard_of(id)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.detector->offer(id, time_us);
+}
+
+std::size_t ShardedDetector::memory_bits() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) total += s.detector->memory_bits();
+  return total;
+}
+
+void ShardedDetector::reset() {
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.detector->reset();
+  }
+}
+
+}  // namespace ppc::core

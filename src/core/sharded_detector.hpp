@@ -1,0 +1,74 @@
+// ShardedDetector: thread-safe horizontal scaling of any DuplicateDetector.
+//
+// Click identifiers are partitioned across S inner detectors by a hash of
+// the identifier; each shard has its own mutex, so S threads proceed in
+// parallel as long as they touch different shards. Because identical
+// clicks always land on the same shard, the zero-false-negative guarantee
+// is preserved.
+//
+// Window semantics under sharding:
+//  * time-based windows: EXACT — expiry depends only on timestamps, which
+//    sharding does not perturb.
+//  * count-based windows: each shard sees ~1/S of the arrivals, so a shard
+//    window of N/S approximates a global window of N. The approximation
+//    error is the binomial deviation of the shard's arrival share; for
+//    N/S ≫ 1 it is a few percent of the window length. Callers that need
+//    exact count semantics should shard by ad or publisher instead (one
+//    stream per detector) or use a time-based window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/duplicate_detector.hpp"
+#include "hashing/hash_common.hpp"
+
+namespace ppc::core {
+
+class ShardedDetector final : public DuplicateDetector {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<DuplicateDetector>(std::size_t shard)>;
+
+  /// @param shards   number of independent shards (≥ 1).
+  /// @param factory  builds the detector for each shard; for count-based
+  ///                 windows the factory should size each shard's window
+  ///                 at N/shards.
+  ShardedDetector(std::size_t shards, const Factory& factory);
+
+  bool do_offer(ClickId id, std::uint64_t time_us) override;
+  WindowSpec window() const override { return shards_.front().detector->window(); }
+  std::size_t memory_bits() const override;
+  bool zero_false_negatives() const override {
+    return shards_.front().detector->zero_false_negatives();
+  }
+  std::string name() const override {
+    return "Sharded[" + std::to_string(shards_.size()) + "x" +
+           shards_.front().detector->name() + "]";
+  }
+  void reset() override;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Which shard an identifier routes to (stable across calls).
+  std::size_t shard_of(ClickId id) const noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(hashing::fmix64(id ^ 0x5a17)) *
+         shards_.size()) >>
+        64);
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<DuplicateDetector> detector;
+    // Own cache line per mutex would be ideal; a plain mutex per shard is
+    // already contention-free for distinct shards.
+    std::mutex mutex;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace ppc::core

@@ -1,0 +1,53 @@
+// Internal binary-IO helpers shared by the detector snapshot formats.
+// Little-endian, length-checked; corrupt input surfaces as
+// std::runtime_error rather than silently wrong filter state.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ppc::core::detail {
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  if (!in) throw std::runtime_error("snapshot: truncated input");
+  std::uint64_t v;
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+inline void write_words(std::ostream& out, std::span<const std::uint64_t> w) {
+  write_u64(out, w.size());
+  out.write(reinterpret_cast<const char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * 8));
+}
+
+inline std::vector<std::uint64_t> read_words(std::istream& in) {
+  const std::uint64_t count = read_u64(in);
+  std::vector<std::uint64_t> w(count);
+  in.read(reinterpret_cast<char*>(w.data()),
+          static_cast<std::streamsize>(count * 8));
+  if (!in) throw std::runtime_error("snapshot: truncated word block");
+  return w;
+}
+
+inline void expect_magic(std::istream& in, std::uint64_t magic,
+                         const char* what) {
+  if (read_u64(in) != magic) {
+    throw std::runtime_error(std::string("snapshot: bad magic for ") + what);
+  }
+}
+
+}  // namespace ppc::core::detail

@@ -1,0 +1,289 @@
+#include "core/timing_bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/snapshot_io.hpp"
+
+namespace ppc::core {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+std::size_t bits_for(std::uint64_t distinct_values) {
+  // Smallest b with 2^b >= distinct_values.
+  return static_cast<std::size_t>(std::bit_width(distinct_values - 1));
+}
+
+}  // namespace
+
+TimingBloomFilter::TimingBloomFilter(WindowSpec window, Options opts)
+    : window_(window),
+      window_ticks_(0),
+      granularity_(1),
+      c_(opts.c),
+      wrap_(0),
+      empty_(0),
+      family_(opts.hash_count, opts.entries, opts.strategy, opts.seed),
+      table_() {
+  window_.validate();
+  if (opts.entries == 0) {
+    throw std::invalid_argument("TimingBloomFilter: entries must be positive");
+  }
+  if (window_.kind == WindowKind::kLandmark) {
+    throw std::invalid_argument(
+        "TimingBloomFilter: use a plain Bloom filter for landmark windows");
+  }
+
+  if (window_.basis == WindowBasis::kCount) {
+    if (window_.kind == WindowKind::kSliding) {
+      window_ticks_ = window_.length;      // one tick per arrival
+      granularity_ = 1;
+    } else {                               // jumping: one tick per sub-window
+      window_ticks_ = window_.subwindows;
+      granularity_ = window_.subwindow_length();
+    }
+  } else {
+    if (window_.kind != WindowKind::kSliding) {
+      throw std::invalid_argument(
+          "TimingBloomFilter: time basis supports sliding windows "
+          "(use GroupBloomFilter for time-based jumping windows)");
+    }
+    window_ticks_ = window_.length / window_.time_unit_us;  // R time units
+    granularity_ = 1;
+  }
+  if (window_ticks_ < 1) {
+    throw std::invalid_argument("TimingBloomFilter: window shorter than one tick");
+  }
+
+  if (c_ == 0) c_ = std::max<std::uint64_t>(1, window_ticks_ - 1);
+  wrap_ = window_ticks_ + c_;
+
+  // Timestamps take values 0..wrap_-1 and all-ones is reserved for EMPTY,
+  // so the entry must represent wrap_+1 distinct values.
+  const std::size_t width = bits_for(wrap_ + 1);
+  empty_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  if (wrap_ > empty_) {  // max timestamp wrap_-1 must stay below empty_
+    throw std::invalid_argument("TimingBloomFilter: window too large");
+  }
+  table_ = bits::PackedIntVector(opts.entries, width, empty_);
+
+  // Cleaning budget: a full pass over all m entries every C ticks, i.e.
+  // every C·G arrivals (count basis) or C time units (time basis).
+  clean_stride_ = ceil_div(table_.size(), c_ * granularity_);
+}
+
+void TimingBloomFilter::reset() {
+  table_.fill_all(empty_);
+  pos_ = 0;
+  arrivals_in_tick_ = 0;
+  scan_pos_ = 0;
+  last_abs_unit_ = kNoTick;
+  started_ = false;
+}
+
+double TimingBloomFilter::fill_factor() const {
+  std::uint64_t used = 0;
+  for (std::uint64_t i = 0; i < table_.size(); ++i) {
+    if (table_.get(i) != empty_) ++used;
+  }
+  return static_cast<double>(used) / static_cast<double>(table_.size());
+}
+
+void TimingBloomFilter::clean_entries(std::uint64_t count) {
+  const std::uint64_t m = table_.size();
+  count = std::min(count, m);  // more than one full pass is redundant
+  for (std::uint64_t n = 0; n < count; ++n) {
+    const std::uint64_t value = table_.get(scan_pos_);
+    if (value != empty_ && !tick_active(value)) {
+      table_.set(scan_pos_, empty_);
+      if (ops_ != nullptr) ops_->entry_writes += 1;
+    }
+    if (ops_ != nullptr) ops_->entry_reads += 1;
+    scan_pos_ = scan_pos_ + 1 == m ? 0 : scan_pos_ + 1;
+  }
+}
+
+void TimingBloomFilter::advance_tick() {
+  pos_ = pos_ + 1 == wrap_ ? 0 : pos_ + 1;
+}
+
+void TimingBloomFilter::advance_time(std::uint64_t time_us) {
+  const std::uint64_t abs_unit = time_us / window_.time_unit_us;
+  if (last_abs_unit_ == kNoTick) {
+    last_abs_unit_ = abs_unit;
+    pos_ = abs_unit % wrap_;
+    return;
+  }
+  if (abs_unit < last_abs_unit_) {
+    throw std::invalid_argument("TimingBloomFilter: time went backwards");
+  }
+  std::uint64_t delta = abs_unit - last_abs_unit_;
+  last_abs_unit_ = abs_unit;
+
+  if (delta >= wrap_) {
+    // Longer than a full counter revolution with no arrivals: every entry
+    // has expired; resetting is both correct and the cheapest catch-up.
+    table_.fill_all(empty_);
+    scan_pos_ = 0;
+    pos_ = abs_unit % wrap_;
+    return;
+  }
+  // Advance in chunks of at most C ticks, completing a full reclamation
+  // pass after each chunk so no surviving timestamp can age past wrap_-1
+  // (the aliasing boundary) unnoticed. For the common delta ≤ a few ticks
+  // this degenerates to delta · ⌈m/C⌉ scanned entries.
+  while (delta > 0) {
+    const std::uint64_t chunk = std::min(delta, c_);
+    pos_ = (pos_ + chunk) % wrap_;
+    delta -= chunk;
+    clean_entries(chunk < c_ ? chunk * clean_stride_ : table_.size());
+  }
+}
+
+bool TimingBloomFilter::probe_and_insert(ClickId id) {
+  std::uint64_t idx[hashing::kMaxHashFunctions];
+  const std::size_t k = family_.k();
+  family_.indices(id, std::span<std::uint64_t>(idx, k));
+  if (ops_ != nullptr) ops_->hash_evals += 1;
+  return probe_and_insert_idx(idx, k);
+}
+
+bool TimingBloomFilter::probe_and_insert_idx(const std::uint64_t* idx,
+                                             std::size_t k) {
+  // Duplicate iff present (no EMPTY entry) AND active (every timestamp
+  // inside the window) — footnotes 1 and 2 of the paper.
+  bool duplicate = true;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t value = table_.get(static_cast<std::size_t>(idx[i]));
+    if (ops_ != nullptr) ops_->entry_reads += 1;
+    if (value == empty_ || !tick_active(value)) {
+      duplicate = false;
+      break;
+    }
+  }
+  if (duplicate) return true;
+
+  for (std::size_t i = 0; i < k; ++i) {
+    table_.set(static_cast<std::size_t>(idx[i]), pos_);
+  }
+  if (ops_ != nullptr) ops_->entry_writes += k;
+  return false;
+}
+
+void TimingBloomFilter::begin_arrival_count_basis() {
+  if (!started_) {
+    started_ = true;
+    arrivals_in_tick_ = 0;
+  } else if (++arrivals_in_tick_ == granularity_) {
+    advance_tick();
+    arrivals_in_tick_ = 0;
+  }
+  clean_entries(clean_stride_);
+}
+
+bool TimingBloomFilter::do_offer(ClickId id, std::uint64_t time_us) {
+  if (window_.basis == WindowBasis::kTime) {
+    advance_time(time_us);
+    // Paper §4.1 runs the cleaning daemon once per time unit; advance_time
+    // performed it for the units that elapsed before this arrival.
+  } else {
+    begin_arrival_count_basis();
+  }
+  return probe_and_insert(id);
+}
+
+void TimingBloomFilter::offer_batch(std::span<const ClickId> ids,
+                                    std::span<bool> out,
+                                    std::uint64_t time_us) {
+  if (ids.empty()) return;
+  if (window_.basis == WindowBasis::kTime) {
+    DuplicateDetector::offer_batch(ids, out, time_us);
+    return;
+  }
+
+  // Software pipeline: hash element i+1 and prefetch its timestamp entries
+  // while element i is classified (see GroupBloomFilter::offer_batch).
+  const std::size_t k = family_.k();
+  std::uint64_t idx_a[hashing::kMaxHashFunctions];
+  std::uint64_t idx_b[hashing::kMaxHashFunctions];
+  std::uint64_t* cur = idx_a;
+  std::uint64_t* nxt = idx_b;
+  family_.indices(ids[0], std::span<std::uint64_t>(cur, k));
+  if (ops_ != nullptr) ops_->hash_evals += 1;
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i + 1 < ids.size()) {
+      family_.indices(ids[i + 1], std::span<std::uint64_t>(nxt, k));
+      if (ops_ != nullptr) ops_->hash_evals += 1;
+      for (std::size_t j = 0; j < k; ++j) {
+        table_.prefetch(static_cast<std::size_t>(nxt[j]));
+      }
+    }
+    begin_arrival_count_basis();
+    out[i] = probe_and_insert_idx(cur, k);
+    std::swap(cur, nxt);
+  }
+}
+
+namespace {
+constexpr std::uint64_t kTbfMagic = 0x50504354'42463031ULL;  // "PPCTBF01"
+}  // namespace
+
+void TimingBloomFilter::save(std::ostream& out) const {
+  detail::write_u64(out, kTbfMagic);
+  detail::write_u64(out, static_cast<std::uint64_t>(window_.kind));
+  detail::write_u64(out, static_cast<std::uint64_t>(window_.basis));
+  detail::write_u64(out, window_.length);
+  detail::write_u64(out, window_.subwindows);
+  detail::write_u64(out, window_.time_unit_us);
+  detail::write_u64(out, table_.size());
+  detail::write_u64(out, family_.k());
+  detail::write_u64(out, c_);
+  detail::write_u64(out, static_cast<std::uint64_t>(family_.strategy()));
+  detail::write_u64(out, family_.seed());
+  detail::write_u64(out, pos_);
+  detail::write_u64(out, arrivals_in_tick_);
+  detail::write_u64(out, scan_pos_);
+  detail::write_u64(out, last_abs_unit_);
+  detail::write_u64(out, started_ ? 1 : 0);
+  detail::write_words(out, table_.raw_words());
+  if (!out) throw std::runtime_error("TimingBloomFilter::save: write failed");
+}
+
+std::unique_ptr<TimingBloomFilter> TimingBloomFilter::load(std::istream& in) {
+  detail::expect_magic(in, kTbfMagic, "TimingBloomFilter");
+  WindowSpec window;
+  window.kind = static_cast<WindowKind>(detail::read_u64(in));
+  window.basis = static_cast<WindowBasis>(detail::read_u64(in));
+  window.length = detail::read_u64(in);
+  window.subwindows = static_cast<std::uint32_t>(detail::read_u64(in));
+  window.time_unit_us = detail::read_u64(in);
+  Options opts;
+  opts.entries = detail::read_u64(in);
+  opts.hash_count = static_cast<std::size_t>(detail::read_u64(in));
+  opts.c = detail::read_u64(in);
+  opts.strategy = static_cast<hashing::IndexStrategy>(detail::read_u64(in));
+  opts.seed = detail::read_u64(in);
+
+  auto tbf = std::make_unique<TimingBloomFilter>(window, opts);
+  tbf->pos_ = detail::read_u64(in);
+  tbf->arrivals_in_tick_ = detail::read_u64(in);
+  tbf->scan_pos_ = detail::read_u64(in);
+  tbf->last_abs_unit_ = detail::read_u64(in);
+  tbf->started_ = detail::read_u64(in) != 0;
+  const auto words = detail::read_words(in);
+  tbf->table_.set_raw_words(words);
+  if (tbf->pos_ >= tbf->wrap_ || tbf->scan_pos_ >= tbf->table_.size()) {
+    throw std::runtime_error("TimingBloomFilter::load: corrupt cursor state");
+  }
+  return tbf;
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,50 @@
+#include "core/window.hpp"
+
+#include <sstream>
+
+namespace ppc::core {
+
+void WindowSpec::validate() const {
+  if (length == 0) {
+    throw std::invalid_argument("WindowSpec: length must be positive");
+  }
+  if (subwindows == 0) {
+    throw std::invalid_argument("WindowSpec: subwindows must be >= 1");
+  }
+  if (kind != WindowKind::kJumping && subwindows != 1) {
+    throw std::invalid_argument(
+        "WindowSpec: only jumping windows have subwindows");
+  }
+  if (basis == WindowBasis::kTime) {
+    if (time_unit_us == 0) {
+      throw std::invalid_argument("WindowSpec: time_unit_us must be positive");
+    }
+    if (length % time_unit_us != 0) {
+      throw std::invalid_argument(
+          "WindowSpec: time window length must be a multiple of time_unit_us");
+    }
+  }
+  if (kind == WindowKind::kJumping && basis == WindowBasis::kCount &&
+      length < subwindows) {
+    throw std::invalid_argument("WindowSpec: fewer elements than subwindows");
+  }
+}
+
+std::string WindowSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case WindowKind::kLandmark: os << "landmark"; break;
+    case WindowKind::kJumping: os << "jumping"; break;
+    case WindowKind::kSliding: os << "sliding"; break;
+  }
+  if (basis == WindowBasis::kCount) {
+    os << "(N=" << length;
+  } else {
+    os << "(T=" << length << "us, unit=" << time_unit_us << "us";
+  }
+  if (kind == WindowKind::kJumping) os << ", Q=" << subwindows;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ppc::core

@@ -1,0 +1,26 @@
+// FNV-1a: the simplest credible byte hash. Used where speed of *compilation
+// into a pipeline* matters more than avalanche quality (trace checksums,
+// debug fingerprints), and as a weak foil in hash-quality tests.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::hashing {
+
+constexpr std::uint64_t kFnvOffsetBasis64 = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+/// 64-bit FNV-1a over a byte range.
+constexpr std::uint64_t fnv1a64(Bytes data,
+                                std::uint64_t seed = kFnvOffsetBasis64) noexcept {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime64;
+  }
+  return h;
+}
+
+}  // namespace ppc::hashing

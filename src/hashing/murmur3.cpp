@@ -1,0 +1,93 @@
+#include "hashing/murmur3.hpp"
+
+#include <cstddef>
+
+namespace ppc::hashing {
+
+namespace {
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937fULL;
+
+}  // namespace
+
+Hash128 murmur3_x64_128(Bytes data, std::uint64_t seed) noexcept {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  // Body: 16-byte blocks.
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load_u64(bytes + i * 16);
+    std::uint64_t k2 = load_u64(bytes + i * 16 + 8);
+
+    k1 *= kC1;
+    k1 = rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= kC2;
+    k2 = rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  // Tail: up to 15 remaining bytes.
+  const std::uint8_t* tail = bytes + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15u) {
+    case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(tail[8]);
+      k2 *= kC2;
+      k2 = rotl64(k2, 33);
+      k2 *= kC1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(tail[0]);
+      k1 *= kC1;
+      k1 = rotl64(k1, 31);
+      k1 *= kC2;
+      h1 ^= k1;
+      break;
+    case 0:
+      break;
+  }
+
+  // Finalization.
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+
+  return Hash128{h1, h2};
+}
+
+}  // namespace ppc::hashing

@@ -1,0 +1,22 @@
+// MurmurHash3 x64 128-bit, reimplemented from the public-domain algorithm.
+//
+// This is the workhorse hash of the library: one call yields two independent
+// 64-bit values (Hash128), which the Kirsch–Mitzenmacher index family turns
+// into k Bloom-filter indices.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::hashing {
+
+/// MurmurHash3 x64 128-bit of `data` with `seed`.
+Hash128 murmur3_x64_128(Bytes data, std::uint64_t seed = 0) noexcept;
+
+/// Convenience 64-bit variant (low half of the 128-bit hash).
+inline std::uint64_t murmur3_64(Bytes data, std::uint64_t seed = 0) noexcept {
+  return murmur3_x64_128(data, seed).lo;
+}
+
+}  // namespace ppc::hashing

@@ -1,0 +1,42 @@
+// Seeded tabulation hashing for 64-bit keys.
+//
+// Tabulation hashing is 3-independent and in practice behaves like a fully
+// random function on Bloom-filter workloads, which makes it the reference
+// family in our "theory vs experiment" false-positive tests: if Murmur and
+// tabulation agree with the analytic FP formula, the formula is being
+// exercised, not a hash artifact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::hashing {
+
+/// Hashes 64-bit keys by XOR-ing eight 256-entry random tables, one per
+/// key byte. Construction fills the tables from a SplitMix64 stream.
+class TabulationHash64 {
+ public:
+  explicit TabulationHash64(std::uint64_t seed = 0) noexcept {
+    std::uint64_t state = seed ^ 0x7462756c6174696fULL;  // "tabulatio"
+    for (auto& table : tables_) {
+      for (auto& entry : table) {
+        entry = splitmix64_next(state);
+      }
+    }
+  }
+
+  std::uint64_t operator()(std::uint64_t key) const noexcept {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      h ^= tables_[i][(key >> (8 * i)) & 0xffu];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace ppc::hashing

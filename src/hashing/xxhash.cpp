@@ -1,0 +1,85 @@
+#include "hashing/xxhash.hpp"
+
+#include <cstddef>
+
+namespace ppc::hashing {
+
+namespace {
+
+constexpr std::uint64_t kP1 = 0x9e3779b185ebca87ULL;
+constexpr std::uint64_t kP2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kP3 = 0x165667b19e3779f9ULL;
+constexpr std::uint64_t kP4 = 0x85ebca77c2b2ae63ULL;
+constexpr std::uint64_t kP5 = 0x27d4eb2f165667c5ULL;
+
+constexpr std::uint64_t round_step(std::uint64_t acc, std::uint64_t input) noexcept {
+  acc += input * kP2;
+  acc = rotl64(acc, 31);
+  acc *= kP1;
+  return acc;
+}
+
+constexpr std::uint64_t merge_round(std::uint64_t acc, std::uint64_t val) noexcept {
+  val = round_step(0, val);
+  acc ^= val;
+  acc = acc * kP1 + kP4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t xxh64(Bytes data, std::uint64_t seed) noexcept {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::uint8_t* const end = p + data.size();
+  std::uint64_t h;
+
+  if (data.size() >= 32) {
+    const std::uint8_t* const limit = end - 32;
+    std::uint64_t v1 = seed + kP1 + kP2;
+    std::uint64_t v2 = seed + kP2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kP1;
+    do {
+      v1 = round_step(v1, load_u64(p));
+      v2 = round_step(v2, load_u64(p + 8));
+      v3 = round_step(v3, load_u64(p + 16));
+      v4 = round_step(v4, load_u64(p + 24));
+      p += 32;
+    } while (p <= limit);
+
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kP5;
+  }
+
+  h += data.size();
+
+  while (p + 8 <= end) {
+    h ^= round_step(0, load_u64(p));
+    h = rotl64(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= std::uint64_t(load_u32(p)) * kP1;
+    h = rotl64(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= std::uint64_t(*p) * kP5;
+    h = rotl64(h, 11) * kP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace ppc::hashing

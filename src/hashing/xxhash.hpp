@@ -1,0 +1,16 @@
+// XXH64, reimplemented from the published specification.
+//
+// Second independent hash family: the index-family tests cross-check that
+// filter false-positive rates are not an artifact of one hash function.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::hashing {
+
+/// XXH64 of `data` with `seed`.
+std::uint64_t xxh64(Bytes data, std::uint64_t seed = 0) noexcept;
+
+}  // namespace ppc::hashing

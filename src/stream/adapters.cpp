@@ -1,0 +1,26 @@
+#include "stream/adapters.hpp"
+
+namespace ppc::stream {
+
+MergedStream::MergedStream(
+    std::vector<std::unique_ptr<ClickGenerator>> sources)
+    : sources_(std::move(sources)) {
+  if (sources_.empty()) {
+    throw std::invalid_argument("MergedStream: need at least one source");
+  }
+  for (std::size_t s = 0; s < sources_.size(); ++s) {
+    heap_.push(Pending{sources_[s]->next(), s});
+  }
+}
+
+Click MergedStream::next() {
+  Pending front = heap_.top();
+  heap_.pop();
+  // Refill from the source we just drained so the heap always holds one
+  // pending click per source.
+  heap_.push(Pending{sources_[front.source]->next(), front.source});
+  last_source_ = front.source;
+  return front.click;
+}
+
+}  // namespace ppc::stream

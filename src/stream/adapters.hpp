@@ -1,0 +1,70 @@
+// Stream adapters: compose generators and recorded traces into the same
+// ClickGenerator interface the detectors and billing pipeline consume.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "stream/generators.hpp"
+#include "stream/trace.hpp"
+
+namespace ppc::stream {
+
+/// Replays a recorded trace file as a ClickGenerator. Unlike the synthetic
+/// generators this stream is finite; next() after exhaustion throws, so
+/// check done() when the trace length is not known upfront.
+class TraceStream final : public ClickGenerator {
+ public:
+  explicit TraceStream(const std::string& path) : reader_(path) {}
+
+  bool done() const noexcept { return reader_.position() >= reader_.size(); }
+  std::uint64_t remaining() const noexcept {
+    return reader_.size() - reader_.position();
+  }
+
+  Click next() override {
+    auto click = reader_.next();
+    if (!click.has_value()) {
+      throw std::out_of_range("TraceStream: trace exhausted");
+    }
+    return *click;
+  }
+
+  std::string name() const override { return "trace"; }
+
+ private:
+  TraceReader reader_;
+};
+
+/// Merges several infinite generators into one stream ordered by click
+/// timestamp — e.g. several publishers' feeds arriving at one ad network.
+class MergedStream final : public ClickGenerator {
+ public:
+  explicit MergedStream(std::vector<std::unique_ptr<ClickGenerator>> sources);
+
+  Click next() override;
+  std::string name() const override { return "merged"; }
+
+  /// Index of the source that produced the last click from next().
+  std::size_t last_source() const noexcept { return last_source_; }
+
+ private:
+  struct Pending {
+    Click click;
+    std::size_t source;
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const noexcept {
+      return a.click.time_us > b.click.time_us;  // min-heap on time
+    }
+  };
+
+  std::vector<std::unique_ptr<ClickGenerator>> sources_;
+  std::priority_queue<Pending, std::vector<Pending>, Later> heap_;
+  std::size_t last_source_ = 0;
+};
+
+}  // namespace ppc::stream

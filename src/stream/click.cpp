@@ -1,0 +1,14 @@
+#include "stream/click.hpp"
+
+#include <sstream>
+
+namespace ppc::stream {
+
+std::string format_ip(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+}  // namespace ppc::stream

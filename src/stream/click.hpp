@@ -1,0 +1,63 @@
+// Click records and identifier policies.
+//
+// A Click is one pay-per-click event as an advertising network's billing
+// pipeline sees it. Which attribute combination makes two clicks
+// "identical" (Definition 1) is a policy decision — the paper names source
+// IP and cookie as typical identifiers — so identifier extraction is an
+// explicit, configurable step rather than baked into the record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hashing/murmur3.hpp"
+
+namespace ppc::stream {
+
+struct Click {
+  std::uint64_t sequence = 0;    ///< position in the stream (0-based)
+  std::uint64_t time_us = 0;     ///< arrival timestamp, microseconds
+  std::uint32_t source_ip = 0;   ///< IPv4 of the clicking host
+  std::uint64_t cookie = 0;      ///< browser cookie / client token (0 = none)
+  std::uint32_t ad_id = 0;       ///< the advertisement clicked
+  std::uint32_t publisher_id = 0;   ///< site that displayed the ad
+  std::uint32_t advertiser_id = 0;  ///< account charged for the click
+
+  friend bool operator==(const Click&, const Click&) = default;
+};
+
+/// Which attributes define "identical clicks".
+enum class IdentifierPolicy : std::uint8_t {
+  kIpAndAd,        ///< same source IP clicking the same ad
+  kCookieAndAd,    ///< same browser cookie clicking the same ad
+  kIpCookieAndAd,  ///< both host and cookie must match
+};
+
+/// Canonical 64-bit identifier of a click under `policy`. Identifiers are
+/// what every DuplicateDetector consumes; equal attribute tuples always map
+/// to equal identifiers.
+inline std::uint64_t click_identifier(
+    const Click& c, IdentifierPolicy policy = IdentifierPolicy::kIpAndAd) {
+  struct Key {
+    std::uint64_t cookie;
+    std::uint32_t ip;
+    std::uint32_t ad;
+  } key{};
+  switch (policy) {
+    case IdentifierPolicy::kIpAndAd:
+      key = {0, c.source_ip, c.ad_id};
+      break;
+    case IdentifierPolicy::kCookieAndAd:
+      key = {c.cookie, 0, c.ad_id};
+      break;
+    case IdentifierPolicy::kIpCookieAndAd:
+      key = {c.cookie, c.source_ip, c.ad_id};
+      break;
+  }
+  return hashing::murmur3_64(hashing::as_bytes(key), /*seed=*/0x9c11);
+}
+
+/// Dotted-quad rendering for logs and reports.
+std::string format_ip(std::uint32_t ip);
+
+}  // namespace ppc::stream

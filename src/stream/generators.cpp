@@ -1,0 +1,146 @@
+#include "stream/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::stream {
+
+namespace {
+
+std::uint64_t advance_clock(Rng& rng, std::uint64_t now_us, double mean_us) {
+  const double gap = rng.exponential(mean_us);
+  // At least 1us per arrival keeps timestamps strictly monotone, which the
+  // time-based detectors require.
+  return now_us + std::max<std::uint64_t>(1, static_cast<std::uint64_t>(gap));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Distinct
+
+DistinctStream::DistinctStream(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+Click DistinctStream::next() {
+  time_us_ = advance_clock(rng_, time_us_, opts_.mean_interarrival_us);
+  Click c;
+  c.sequence = sequence_;
+  c.time_us = time_us_;
+  // (ip, cookie) never repeats: cookie is the raw sequence number, the IP
+  // folds in the high bits so even the 32-bit field cycles slowly.
+  c.cookie = sequence_;
+  c.source_ip = static_cast<std::uint32_t>(sequence_ ^ (sequence_ >> 32));
+  c.ad_id = static_cast<std::uint32_t>(rng_.below(opts_.ad_count));
+  c.publisher_id = 0;
+  c.advertiser_id = c.ad_id;
+  ++sequence_;
+  return c;
+}
+
+// ----------------------------------------------------------- MixedTraffic
+
+MixedTrafficStream::MixedTrafficStream(Options opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      users_(opts.user_count, opts.user_zipf_exponent),
+      ads_(opts.ad_count, opts.ad_zipf_exponent) {}
+
+std::uint32_t MixedTrafficStream::user_ip(std::uint64_t user,
+                                          std::uint64_t seed) {
+  return static_cast<std::uint32_t>(hashing::fmix64(user ^ (seed << 1)));
+}
+
+std::uint64_t MixedTrafficStream::user_cookie(std::uint64_t user,
+                                              std::uint64_t seed) {
+  return hashing::fmix64(user ^ (seed << 1) ^ 0xc00c1eULL);
+}
+
+Click MixedTrafficStream::next() {
+  time_us_ = advance_clock(rng_, time_us_, opts_.mean_interarrival_us);
+  const std::uint64_t user = users_.sample(rng_);
+  Click c;
+  c.sequence = sequence_++;
+  c.time_us = time_us_;
+  c.source_ip = user_ip(user, opts_.seed);
+  c.cookie = user_cookie(user, opts_.seed);
+  c.ad_id = static_cast<std::uint32_t>(ads_.sample(rng_));
+  c.publisher_id = static_cast<std::uint32_t>(rng_.below(opts_.publisher_count));
+  c.advertiser_id = c.ad_id;
+  return c;
+}
+
+// ----------------------------------------------------------- BotnetAttack
+
+BotnetAttackStream::BotnetAttackStream(
+    std::unique_ptr<ClickGenerator> background, Options opts)
+    : background_(std::move(background)), opts_(opts), rng_(opts.seed) {}
+
+Click BotnetAttackStream::next() {
+  Click c = background_->next();
+  const bool in_attack_window =
+      c.time_us >= opts_.attack_start_us && c.time_us < opts_.attack_end_us;
+  last_was_attack_ = in_attack_window && rng_.chance(opts_.attack_fraction);
+  if (!last_was_attack_) return c;
+
+  // Replace the background click by a bot click at the same instant: one of
+  // the botnet's hosts hammers the target ad via the colluding publisher.
+  const std::uint64_t bot = rng_.below(opts_.bot_count);
+  c.source_ip = MixedTrafficStream::user_ip(bot, opts_.seed ^ 0xb07);
+  c.cookie = MixedTrafficStream::user_cookie(bot, opts_.seed ^ 0xb07);
+  c.ad_id = opts_.target_ad;
+  c.advertiser_id = opts_.target_advertiser;
+  c.publisher_id = opts_.colluding_publisher;
+  return c;
+}
+
+// --------------------------------------------------------------- Revisit
+
+RevisitStream::RevisitStream(Options opts) : opts_(opts), rng_(opts.seed) {}
+
+Click RevisitStream::next() {
+  time_us_ = advance_clock(rng_, time_us_, opts_.mean_interarrival_us);
+  Click c;
+  c.sequence = sequence_++;
+  c.time_us = time_us_;
+  c.publisher_id = 0;
+
+  last_was_revisit_ = false;
+  if (!history_.empty() && rng_.chance(opts_.revisit_probability)) {
+    // Pick among visits old enough to be outside any reasonable fraud
+    // window. History is append-only in time order, so a binary search
+    // finds the eligible prefix.
+    const std::uint64_t cutoff =
+        time_us_ >= opts_.min_gap_us ? time_us_ - opts_.min_gap_us : 0;
+    const auto end_eligible = std::partition_point(
+        history_.begin(), history_.end(),
+        [cutoff](const PastVisit& v) { return v.time_us <= cutoff; });
+    const auto eligible =
+        static_cast<std::size_t>(end_eligible - history_.begin());
+    if (eligible > 0) {
+      const std::size_t pick = static_cast<std::size_t>(rng_.below(eligible));
+      const PastVisit v = history_[pick];
+      c.source_ip = v.ip;
+      c.cookie = v.cookie;
+      c.ad_id = v.ad;
+      c.advertiser_id = v.ad;
+      last_was_revisit_ = true;
+      // Consume the old sighting and re-record the visit at the current
+      // time, keeping history_ sorted: every future revisit of this user is
+      // again at least min_gap away from their *latest* click.
+      history_.erase(history_.begin() + static_cast<std::ptrdiff_t>(pick));
+      history_.push_back({c.source_ip, c.cookie, c.ad_id, c.time_us});
+      return c;
+    }
+  }
+
+  const std::uint64_t user = fresh_user_counter_++;
+  c.source_ip = MixedTrafficStream::user_ip(user, opts_.seed);
+  c.cookie = MixedTrafficStream::user_cookie(user, opts_.seed);
+  c.ad_id = static_cast<std::uint32_t>(rng_.below(opts_.ad_count));
+  c.advertiser_id = c.ad_id;
+  history_.push_back({c.source_ip, c.cookie, c.ad_id, c.time_us});
+  return c;
+}
+
+}  // namespace ppc::stream

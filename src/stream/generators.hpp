@@ -1,0 +1,167 @@
+// Synthetic click-stream generators.
+//
+// The paper evaluates on synthetic streams of distinct identifiers (§5);
+// the motivating scenarios of §1.1 (legitimate revisits vs. botnet
+// duplication) need richer traffic. All generators are infinite,
+// deterministic under their seed, and emit Click records with monotone
+// timestamps drawn from exponential inter-arrival gaps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/click.hpp"
+#include "stream/rng.hpp"
+#include "stream/zipf.hpp"
+
+namespace ppc::stream {
+
+class ClickGenerator {
+ public:
+  virtual ~ClickGenerator() = default;
+  /// Produces the next click; streams are infinite.
+  virtual Click next() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Every click carries a never-repeating (source_ip, cookie) pair — the
+/// duplicate-free stream of the paper's false-positive experiments: any
+/// "duplicate" verdict on this stream is a false positive by construction.
+struct DistinctStreamOptions {
+  std::uint32_t ad_count = 16;
+  double mean_interarrival_us = 1000.0;
+  std::uint64_t seed = 1;
+};
+
+class DistinctStream final : public ClickGenerator {
+ public:
+  using Options = DistinctStreamOptions;
+
+  explicit DistinctStream(Options opts = {});
+
+  Click next() override;
+  std::string name() const override { return "distinct"; }
+
+ private:
+  Options opts_;
+  Rng rng_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t time_us_ = 0;
+};
+
+/// Realistic background traffic: a Zipf-popular population of users clicking
+/// a Zipf-popular set of ads. Natural duplicates occur whenever a popular
+/// user re-clicks a popular ad within the window.
+struct MixedTrafficOptions {
+  std::uint64_t user_count = 100'000;
+  double user_zipf_exponent = 1.1;
+  std::uint32_t ad_count = 64;
+  double ad_zipf_exponent = 1.0;
+  std::uint32_t publisher_count = 8;
+  double mean_interarrival_us = 1000.0;
+  std::uint64_t seed = 2;
+};
+
+class MixedTrafficStream final : public ClickGenerator {
+ public:
+  using Options = MixedTrafficOptions;
+
+  explicit MixedTrafficStream(Options opts = {});
+
+  Click next() override;
+  std::string name() const override { return "mixed-traffic"; }
+
+  /// Deterministic user → (ip, cookie) mapping shared with the attack
+  /// generators, so tests can recognize users.
+  static std::uint32_t user_ip(std::uint64_t user, std::uint64_t seed);
+  static std::uint64_t user_cookie(std::uint64_t user, std::uint64_t seed);
+
+ private:
+  Options opts_;
+  Rng rng_;
+  ZipfSampler users_;
+  ZipfSampler ads_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t time_us_ = 0;
+};
+
+/// Scenario 2 of the paper: a botnet of `bot_count` hosts, each repeatedly
+/// clicking `target_ad`. Attack clicks are interleaved into a background
+/// stream with probability `attack_fraction` per arrival, between
+/// `attack_start_us` and `attack_end_us`.
+struct BotnetAttackOptions {
+  std::uint32_t bot_count = 1000;
+  std::uint32_t target_ad = 7;
+  std::uint32_t target_advertiser = 7;
+  std::uint32_t colluding_publisher = 3;
+  double attack_fraction = 0.30;
+  std::uint64_t attack_start_us = 0;
+  std::uint64_t attack_end_us = ~std::uint64_t{0};
+  std::uint64_t seed = 3;
+};
+
+class BotnetAttackStream final : public ClickGenerator {
+ public:
+  using Options = BotnetAttackOptions;
+
+  BotnetAttackStream(std::unique_ptr<ClickGenerator> background, Options opts);
+
+  Click next() override;
+  std::string name() const override { return "botnet-attack"; }
+
+  /// True iff this click was produced by the attack half of the mix; lets
+  /// examples report ground-truth attack volume.
+  bool last_was_attack() const noexcept { return last_was_attack_; }
+
+ private:
+  std::unique_ptr<ClickGenerator> background_;
+  Options opts_;
+  Rng rng_;
+  bool last_was_attack_ = false;
+};
+
+/// Scenario 1 of the paper: loyal users who re-click the same ad after a
+/// long gap. Each arrival is a fresh user with probability 1-p, or a
+/// revisit by a user first seen at least `min_gap_us` ago with probability
+/// p. With the window shorter than `min_gap_us`, *none* of these revisits
+/// should be flagged — the test that a windowed detector does not overblock.
+struct RevisitStreamOptions {
+  double revisit_probability = 0.05;
+  std::uint64_t min_gap_us = 60'000'000;  // one minute
+  std::uint32_t ad_count = 16;
+  double mean_interarrival_us = 1000.0;
+  std::uint64_t seed = 4;
+};
+
+class RevisitStream final : public ClickGenerator {
+ public:
+  using Options = RevisitStreamOptions;
+
+  explicit RevisitStream(Options opts = {});
+
+  Click next() override;
+  std::string name() const override { return "revisit"; }
+
+  /// Ground truth: was the last emitted click a (legitimate) revisit?
+  bool last_was_revisit() const noexcept { return last_was_revisit_; }
+
+ private:
+  struct PastVisit {
+    std::uint32_t ip;
+    std::uint64_t cookie;
+    std::uint32_t ad;
+    std::uint64_t time_us;
+  };
+
+  Options opts_;
+  Rng rng_;
+  std::vector<PastVisit> history_;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t time_us_ = 0;
+  std::uint64_t fresh_user_counter_ = 0;
+  bool last_was_revisit_ = false;
+};
+
+}  // namespace ppc::stream

@@ -1,0 +1,12 @@
+#include "stream/rng.hpp"
+
+#include <cmath>
+
+namespace ppc::stream {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF; uniform() < 1 so the log argument stays positive.
+  return -mean * std::log(1.0 - uniform());
+}
+
+}  // namespace ppc::stream

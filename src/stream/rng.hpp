@@ -1,0 +1,60 @@
+// Deterministic PRNG for synthetic streams: xoshiro256++ seeded via
+// SplitMix64. We implement our own (rather than std::mt19937_64) so stream
+// generation is fast, reproducible across standard libraries, and cheap to
+// fork into independent per-entity substreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hashing/hash_common.hpp"
+
+namespace ppc::stream {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = hashing::splitmix64_next(sm);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result =
+        hashing::rotl64(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = hashing::rotl64(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bias-free via Lemire's method with the
+  /// rejection step elided (bound ≪ 2^64 in all our uses; bias < 2^-40).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (inter-arrival
+  /// times of Poisson click traffic).
+  double exponential(double mean) noexcept;
+
+  /// Independent generator derived from this one (per-entity substreams).
+  Rng fork() noexcept { return Rng(next() ^ 0xf0f0aa55deadbeefULL); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ppc::stream

@@ -1,0 +1,117 @@
+#include "stream/trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace ppc::stream {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'C', 'T'};
+constexpr std::uint32_t kVersion = 1;
+// sequence, time_us, cookie (u64) + ip, ad, publisher, advertiser (u32).
+constexpr std::size_t kRecordSize = 3 * 8 + 4 * 4;
+
+void put_u32(char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  std::array<char, 16> header{};
+  std::memcpy(header.data(), kMagic, 4);
+  put_u32(header.data() + 4, kVersion);
+  put_u64(header.data() + 8, 0);  // patched by close()
+  out_.write(header.data(), header.size());
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() would have surfaced it.
+  }
+}
+
+void TraceWriter::append(const Click& c) {
+  if (closed_) throw std::logic_error("TraceWriter: append after close");
+  std::array<char, kRecordSize> rec;
+  put_u64(rec.data() + 0, c.sequence);
+  put_u64(rec.data() + 8, c.time_us);
+  put_u64(rec.data() + 16, c.cookie);
+  put_u32(rec.data() + 24, c.source_ip);
+  put_u32(rec.data() + 28, c.ad_id);
+  put_u32(rec.data() + 32, c.publisher_id);
+  put_u32(rec.data() + 36, c.advertiser_id);
+  out_.write(rec.data(), rec.size());
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(8);
+  char buf[8];
+  put_u64(buf, count_);
+  out_.write(buf, 8);
+  out_.flush();
+  if (!out_) throw std::runtime_error("TraceWriter: write failed on " + path_);
+  out_.close();
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  std::array<char, 16> header;
+  in_.read(header.data(), header.size());
+  if (!in_ || std::memcmp(header.data(), kMagic, 4) != 0) {
+    throw std::runtime_error("TraceReader: bad magic in " + path);
+  }
+  if (get_u32(header.data() + 4) != kVersion) {
+    throw std::runtime_error("TraceReader: unsupported version in " + path);
+  }
+  count_ = get_u64(header.data() + 8);
+}
+
+std::optional<Click> TraceReader::next() {
+  if (read_ >= count_) return std::nullopt;
+  std::array<char, kRecordSize> rec;
+  in_.read(rec.data(), rec.size());
+  if (!in_) throw std::runtime_error("TraceReader: truncated trace");
+  Click c;
+  c.sequence = get_u64(rec.data() + 0);
+  c.time_us = get_u64(rec.data() + 8);
+  c.cookie = get_u64(rec.data() + 16);
+  c.source_ip = get_u32(rec.data() + 24);
+  c.ad_id = get_u32(rec.data() + 28);
+  c.publisher_id = get_u32(rec.data() + 32);
+  c.advertiser_id = get_u32(rec.data() + 36);
+  ++read_;
+  return c;
+}
+
+void export_csv(const std::string& path, const std::vector<Click>& clicks) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("export_csv: cannot open " + path);
+  out << "sequence,time_us,source_ip,cookie,ad_id,publisher_id,advertiser_id\n";
+  for (const Click& c : clicks) {
+    out << c.sequence << ',' << c.time_us << ',' << format_ip(c.source_ip)
+        << ',' << c.cookie << ',' << c.ad_id << ',' << c.publisher_id << ','
+        << c.advertiser_id << '\n';
+  }
+}
+
+}  // namespace ppc::stream

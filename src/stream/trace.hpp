@@ -1,0 +1,64 @@
+// Click-trace persistence: a fixed-record binary format for replayable
+// experiment inputs, plus CSV export for inspection. Real advertising
+// networks audit from logged streams (the paper's proposed advertiser/
+// publisher joint audit); these files are that log.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/click.hpp"
+
+namespace ppc::stream {
+
+/// Binary format: 16-byte header (magic "PPCT", u32 version, u64 record
+/// count) followed by packed little-endian records.
+class TraceWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const Click& click);
+
+  /// Finalizes the header (record count) and closes the file. Called by
+  /// the destructor if not called explicitly; explicit close() reports
+  /// errors by throwing instead of swallowing them.
+  void close();
+
+  std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates `path`; throws std::runtime_error on bad files.
+  explicit TraceReader(const std::string& path);
+
+  /// Next click, or nullopt at end of trace.
+  std::optional<Click> next();
+
+  std::uint64_t size() const noexcept { return count_; }
+  std::uint64_t position() const noexcept { return read_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Writes `clicks` as a human-readable CSV with a header row.
+void export_csv(const std::string& path, const std::vector<Click>& clicks);
+
+}  // namespace ppc::stream

@@ -1,0 +1,63 @@
+#include "stream/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppc::stream {
+
+namespace {
+
+// helper1(x) = log(1+x)/x, numerically stable near 0.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x / 2.0 + x * x / 3.0;
+}
+
+// helper2(x) = (e^x - 1)/x, numerically stable near 0.
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x / 2.0 + x * x / 6.0;
+}
+
+}  // namespace
+
+double ZipfSampler::h(double x) const {
+  // hIntegral(x) = ∫ t^-s dt, expressed stably for s near 1.
+  const double log_x = std::log(x);
+  return helper2((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // clamp round-off below the admissible range
+  return std::exp(helper1(t) * x);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t universe, double s)
+    : universe_(universe), s_(s) {
+  if (universe == 0) throw std::invalid_argument("ZipfSampler: empty universe");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_universe_ = h(static_cast<double>(universe) + 0.5);
+  threshold_ = 2.0 - h_inverse(h(2.5) - std::exp(-s_ * std::log(2.0)));
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  // Hörmann & Derflinger rejection-inversion. Expected iterations < 1.25
+  // for every (universe, s); each iteration is a handful of transcendental
+  // calls, no tables.
+  for (;;) {
+    const double u = h_universe_ + rng.uniform() * (h_x1_ - h_universe_);
+    const double x = h_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    const double n = static_cast<double>(universe_);
+    if (k > n) k = n;
+    if (k - x <= threshold_ ||
+        u >= h(k + 0.5) - std::exp(-s_ * std::log(k))) {
+      return static_cast<std::uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace ppc::stream

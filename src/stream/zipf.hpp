@@ -1,0 +1,36 @@
+// Bounded Zipf sampler using Hörmann's rejection-inversion method: O(1)
+// expected time per sample and O(1) memory for any universe size, unlike
+// CDF-table inversion which needs O(universe) setup. Click popularity (ads,
+// users, bot targets) is famously heavy-tailed, so the realistic stream
+// generators all lean on this.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/rng.hpp"
+
+namespace ppc::stream {
+
+class ZipfSampler {
+ public:
+  /// Zipf over {0, 1, ..., universe-1} with exponent `s` > 0, rank r drawn
+  /// with probability proportional to 1/(r+1)^s.
+  ZipfSampler(std::uint64_t universe, double s);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t universe() const noexcept { return universe_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;          // integral of the density envelope
+  double h_inverse(double x) const;  // its inverse
+
+  std::uint64_t universe_;
+  double s_;
+  double h_x1_;         // h(1.5) - 1
+  double h_universe_;   // h(universe + 0.5)
+  double threshold_;    // acceptance shortcut for rank 0
+};
+
+}  // namespace ppc::stream

@@ -1,0 +1,73 @@
+// Tests for the stream adapters: trace replay and timestamp-ordered merge.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "stream/adapters.hpp"
+#include "stream/generators.hpp"
+
+namespace ppc::stream {
+namespace {
+
+TEST(TraceStream, ReplaysARecordedTraceExactly) {
+  const std::string path = ::testing::TempDir() + "/adapter_trace.bin";
+  std::vector<Click> clicks;
+  {
+    DistinctStream gen;
+    TraceWriter writer(path);
+    for (int i = 0; i < 200; ++i) {
+      clicks.push_back(gen.next());
+      writer.append(clicks.back());
+    }
+    writer.close();
+  }
+
+  TraceStream replay(path);
+  EXPECT_EQ(replay.remaining(), 200u);
+  for (const Click& expected : clicks) {
+    ASSERT_FALSE(replay.done());
+    EXPECT_EQ(replay.next(), expected);
+  }
+  EXPECT_TRUE(replay.done());
+  EXPECT_THROW(replay.next(), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(MergedStream, RejectsEmptySourceList) {
+  EXPECT_THROW(MergedStream({}), std::invalid_argument);
+}
+
+TEST(MergedStream, EmitsInGlobalTimestampOrder) {
+  std::vector<std::unique_ptr<ClickGenerator>> sources;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    DistinctStreamOptions opts;
+    opts.seed = seed;
+    opts.mean_interarrival_us = 500.0 * static_cast<double>(seed);
+    sources.push_back(std::make_unique<DistinctStream>(opts));
+  }
+  MergedStream merged(std::move(sources));
+
+  std::uint64_t last = 0;
+  std::vector<int> per_source(4, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const Click c = merged.next();
+    EXPECT_GE(c.time_us, last) << "merge broke timestamp order at " << i;
+    last = c.time_us;
+    ++per_source[merged.last_source()];
+  }
+  // Every source contributes, faster sources contribute more.
+  for (int count : per_source) EXPECT_GT(count, 100);
+  EXPECT_GT(per_source[0], per_source[3]);
+}
+
+TEST(MergedStream, SingleSourcePassesThrough) {
+  std::vector<std::unique_ptr<ClickGenerator>> sources;
+  sources.push_back(std::make_unique<DistinctStream>(DistinctStreamOptions{}));
+  MergedStream merged(std::move(sources));
+  DistinctStream reference;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(merged.next(), reference.next());
+}
+
+}  // namespace
+}  // namespace ppc::stream

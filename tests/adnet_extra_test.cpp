@@ -1,0 +1,156 @@
+// Tests for the adnet extensions: per-ad detector pool and the duplicate-
+// rate attack monitor.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adnet/detector_pool.hpp"
+#include "adnet/rate_monitor.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "stream/rng.hpp"
+
+namespace ppc::adnet {
+namespace {
+
+std::unique_ptr<core::DuplicateDetector> small_tbf(std::uint64_t n = 128) {
+  core::TimingBloomFilter::Options opts;
+  opts.entries = 1 << 12;
+  opts.hash_count = 4;
+  return std::make_unique<core::TimingBloomFilter>(
+      core::WindowSpec::sliding_count(n), opts);
+}
+
+// ------------------------------------------------------------ DetectorPool
+
+TEST(DetectorPool, RejectsNullFactory) {
+  EXPECT_THROW(DetectorPool(DetectorPool::Factory{}), std::invalid_argument);
+}
+
+TEST(DetectorPool, PerAdWindowsAreIndependent) {
+  DetectorPool pool([](std::uint32_t) { return small_tbf(); });
+  // Same identifier on two different ads: independent windows, so both
+  // first offers are valid and both second offers are duplicates.
+  EXPECT_FALSE(pool.offer(1, 42, 0));
+  EXPECT_FALSE(pool.offer(2, 42, 0));
+  EXPECT_TRUE(pool.offer(1, 42, 1));
+  EXPECT_TRUE(pool.offer(2, 42, 1));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(DetectorPool, PopularAdDoesNotAgeOutNicheAd) {
+  // The motivating scenario: with per-ad windows of 128 clicks, flooding
+  // ad 1 must not expire ad 2's lone click.
+  DetectorPool pool([](std::uint32_t) { return small_tbf(128); });
+  EXPECT_FALSE(pool.offer(2, 7, 0));
+  for (std::uint64_t i = 0; i < 10'000; ++i) pool.offer(1, 1000 + i, i);
+  EXPECT_TRUE(pool.offer(2, 7, 20'000))
+      << "ad 2's click was aged out by ad 1's traffic";
+}
+
+TEST(DetectorPool, EnforcesMemoryCap) {
+  DetectorPool::Options opts;
+  opts.memory_cap_bits = small_tbf()->memory_bits() * 2 + 1;
+  DetectorPool pool([](std::uint32_t) { return small_tbf(); }, opts);
+  pool.offer(1, 1, 0);
+  pool.offer(2, 1, 0);
+  EXPECT_THROW(pool.offer(3, 1, 0), std::length_error);
+  // Evicting one frees budget for another.
+  pool.evict(1);
+  EXPECT_FALSE(pool.contains(1));
+  EXPECT_NO_THROW(pool.offer(3, 1, 0));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(DetectorPool, MemoryAccountingTracksLiveDetectors) {
+  DetectorPool pool([](std::uint32_t) { return small_tbf(); });
+  EXPECT_EQ(pool.memory_bits(), 0u);
+  pool.offer(1, 1, 0);
+  const std::size_t one = pool.memory_bits();
+  EXPECT_GT(one, 0u);
+  pool.offer(2, 1, 0);
+  EXPECT_EQ(pool.memory_bits(), 2 * one);
+  pool.evict(2);
+  EXPECT_EQ(pool.memory_bits(), one);
+  pool.evict(99);  // unknown ad: no-op
+  EXPECT_EQ(pool.memory_bits(), one);
+}
+
+// ---------------------------------------------------- DuplicateRateMonitor
+
+TEST(RateMonitor, RejectsBadSmoothing) {
+  DuplicateRateMonitor::Options opts;
+  opts.fast_alpha = 0.0;
+  EXPECT_THROW(DuplicateRateMonitor{opts}, std::invalid_argument);
+  opts = {};
+  opts.slow_alpha = opts.fast_alpha;  // must be strictly smaller
+  EXPECT_THROW(DuplicateRateMonitor{opts}, std::invalid_argument);
+  opts = {};
+  opts.clear_ratio = opts.trigger_ratio + 1;
+  EXPECT_THROW(DuplicateRateMonitor{opts}, std::invalid_argument);
+}
+
+TEST(RateMonitor, QuietStreamNeverAlarms) {
+  DuplicateRateMonitor monitor;
+  stream::Rng rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    EXPECT_FALSE(monitor.observe(rng.chance(0.02)));
+  }
+  EXPECT_FALSE(monitor.alarmed());
+  EXPECT_NEAR(monitor.fast_rate(), 0.02, 0.02);
+}
+
+TEST(RateMonitor, DetectsOnsetAndClearanceWithBoundedLag) {
+  DuplicateRateMonitor monitor;
+  stream::Rng rng(2);
+  // Phase 1: 50k organic clicks at 3% duplicates.
+  for (int i = 0; i < 50'000; ++i) monitor.observe(rng.chance(0.03));
+  EXPECT_FALSE(monitor.alarmed());
+  // Phase 2: attack pushes the duplicate rate to 40%.
+  std::uint64_t onset_detected = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (monitor.observe(rng.chance(0.40)) && monitor.alarmed()) {
+      onset_detected = monitor.clicks();
+      break;
+    }
+  }
+  ASSERT_TRUE(monitor.alarmed()) << "attack never detected";
+  EXPECT_LT(onset_detected - 50'000, 3'000u) << "detection lag too high";
+  // Phase 3: attack stops; alarm clears.
+  std::uint64_t cleared = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (monitor.observe(rng.chance(0.03)) && !monitor.alarmed()) {
+      cleared = monitor.clicks();
+      break;
+    }
+  }
+  EXPECT_FALSE(monitor.alarmed()) << "alarm never cleared";
+  EXPECT_GT(cleared, 0u);
+  // The transition log has exactly onset + clearance.
+  ASSERT_EQ(monitor.transitions().size(), 2u);
+  EXPECT_TRUE(monitor.transitions()[0].attack_started);
+  EXPECT_FALSE(monitor.transitions()[1].attack_started);
+}
+
+TEST(RateMonitor, BaselineFreezesDuringAttack) {
+  // A long attack must not launder itself into the baseline: rate stays
+  // alarmed for the whole attack, however long.
+  DuplicateRateMonitor monitor;
+  stream::Rng rng(3);
+  for (int i = 0; i < 30'000; ++i) monitor.observe(rng.chance(0.02));
+  for (int i = 0; i < 200'000; ++i) monitor.observe(rng.chance(0.5));
+  EXPECT_TRUE(monitor.alarmed()) << "long attack was laundered into baseline";
+  EXPECT_LT(monitor.baseline_rate(), 0.05);
+}
+
+TEST(RateMonitor, WarmupSuppressesEarlyAlarms) {
+  DuplicateRateMonitor::Options opts;
+  opts.warmup_clicks = 5'000;
+  DuplicateRateMonitor monitor(opts);
+  // An all-duplicate prefix inside warmup must not alarm.
+  for (int i = 0; i < 4'000; ++i) {
+    EXPECT_FALSE(monitor.observe(true));
+  }
+}
+
+}  // namespace
+}  // namespace ppc::adnet

@@ -1,0 +1,224 @@
+// Tests for the advertising-network substrate: billing pipeline, ledger
+// integrity, fraud auditor flagging, and the joint advertiser/publisher
+// audit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adnet/auditor.hpp"
+#include "adnet/billing.hpp"
+#include "baseline/exact_detectors.hpp"
+#include "core/detector_factory.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "stream/generators.hpp"
+
+namespace ppc::adnet {
+namespace {
+
+std::unique_ptr<core::DuplicateDetector> small_tbf(std::uint64_t window) {
+  core::TimingBloomFilter::Options opts;
+  opts.entries = 1 << 16;
+  opts.hash_count = 6;
+  return std::make_unique<core::TimingBloomFilter>(
+      core::WindowSpec::sliding_count(window), opts);
+}
+
+stream::Click make_click(std::uint32_t ip, std::uint32_t ad,
+                         std::uint32_t publisher, std::uint64_t t) {
+  stream::Click c;
+  c.source_ip = ip;
+  c.ad_id = ad;
+  c.advertiser_id = ad;
+  c.publisher_id = publisher;
+  c.time_us = t;
+  return c;
+}
+
+BillingEngine make_engine(std::uint64_t window = 1000) {
+  BillingEngine engine(BillingConfig{}, small_tbf(window));
+  engine.register_advertiser(
+      {.id = 1, .name = "acme", .bid_per_click = from_dollars(0.50),
+       .budget = from_dollars(100.0)});
+  engine.register_publisher({.id = 10, .name = "site-a"});
+  return engine;
+}
+
+TEST(Money, FormatsDollars) {
+  EXPECT_EQ(format_dollars(from_dollars(1.50)), "$1.50");
+  EXPECT_EQ(format_dollars(from_dollars(0.05)), "$0.05");
+  EXPECT_EQ(format_dollars(from_dollars(-2.25)), "-$2.25");
+  EXPECT_EQ(format_dollars(0), "$0.00");
+}
+
+TEST(Billing, ChargesValidClicksAndSharesRevenue) {
+  auto engine = make_engine();
+  EXPECT_EQ(engine.process(make_click(100, 1, 10, 1)), ClickOutcome::kCharged);
+  EXPECT_EQ(engine.advertiser(1).spent, from_dollars(0.50));
+  EXPECT_EQ(engine.advertiser(1).charged_clicks, 1u);
+  EXPECT_EQ(engine.publisher(10).earned, from_dollars(0.35));  // 70% share
+  EXPECT_EQ(engine.total_charged(), from_dollars(0.50));
+}
+
+TEST(Billing, RejectsDuplicateWithoutCharging) {
+  auto engine = make_engine();
+  engine.process(make_click(100, 1, 10, 1));
+  EXPECT_EQ(engine.process(make_click(100, 1, 10, 2)),
+            ClickOutcome::kDuplicateRejected);
+  EXPECT_EQ(engine.advertiser(1).spent, from_dollars(0.50));  // unchanged
+  EXPECT_EQ(engine.publisher(10).rejected_clicks, 1u);
+  EXPECT_EQ(engine.savings_from_rejections(), from_dollars(0.50));
+  EXPECT_EQ(engine.rejection_log().size(), 1u);
+}
+
+TEST(Billing, DifferentIpSameAdIsNotDuplicate) {
+  auto engine = make_engine();
+  engine.process(make_click(100, 1, 10, 1));
+  EXPECT_EQ(engine.process(make_click(101, 1, 10, 2)), ClickOutcome::kCharged);
+}
+
+TEST(Billing, BudgetExhaustionStopsCharging) {
+  BillingEngine engine(BillingConfig{}, small_tbf(1000));
+  engine.register_advertiser({.id = 1,
+                              .name = "small",
+                              .bid_per_click = from_dollars(1.0),
+                              .budget = from_dollars(2.0)});
+  engine.register_publisher({.id = 10, .name = "site"});
+  EXPECT_EQ(engine.process(make_click(1, 1, 10, 1)), ClickOutcome::kCharged);
+  EXPECT_EQ(engine.process(make_click(2, 1, 10, 2)), ClickOutcome::kCharged);
+  EXPECT_EQ(engine.process(make_click(3, 1, 10, 3)),
+            ClickOutcome::kBudgetExhausted);
+  EXPECT_EQ(engine.advertiser(1).spent, from_dollars(2.0));
+  EXPECT_TRUE(engine.advertiser(1).exhausted());
+}
+
+TEST(Billing, UnknownAdvertiserIsReported) {
+  auto engine = make_engine();
+  EXPECT_EQ(engine.process(make_click(1, 99, 10, 1)),
+            ClickOutcome::kUnknownAdvertiser);
+}
+
+TEST(Billing, DuplicateRegistrationThrows) {
+  auto engine = make_engine();
+  EXPECT_THROW(engine.register_advertiser({.id = 1, .name = "dup"}),
+               std::invalid_argument);
+  EXPECT_THROW(engine.register_publisher({.id = 10, .name = "dup"}),
+               std::invalid_argument);
+}
+
+TEST(Billing, RejectionLogIsBounded) {
+  BillingConfig config;
+  config.rejection_log_capacity = 5;
+  BillingEngine engine(config, small_tbf(1000));
+  engine.register_advertiser({.id = 1, .name = "a"});
+  engine.register_publisher({.id = 10, .name = "p"});
+  engine.process(make_click(7, 1, 10, 0));
+  for (int i = 1; i <= 20; ++i) engine.process(make_click(7, 1, 10, i));
+  EXPECT_EQ(engine.rejection_log().size(), 5u);
+}
+
+TEST(Billing, LedgerBalances) {
+  // Conservation: total charged == Σ advertiser spend, and publisher
+  // earnings == share of charges they delivered.
+  auto engine = make_engine(100);
+  stream::MixedTrafficOptions opts;
+  opts.user_count = 200;
+  opts.ad_count = 1;  // every click goes to advertiser 1... ad_id 0 though
+  stream::MixedTrafficStream gen(opts);
+  for (int i = 0; i < 5000; ++i) {
+    stream::Click c = gen.next();
+    c.ad_id = 1;
+    c.advertiser_id = 1;
+    c.publisher_id = 10;
+    engine.process(c);
+  }
+  EXPECT_EQ(engine.total_charged(), engine.advertiser(1).spent);
+  EXPECT_EQ(engine.charged(), engine.advertiser(1).charged_clicks);
+  const Micros expected_share =
+      static_cast<Micros>(0.70 * static_cast<double>(from_dollars(0.50)));
+  EXPECT_EQ(engine.publisher(10).earned,
+            expected_share *
+                static_cast<Micros>(engine.publisher(10).delivered_clicks));
+}
+
+// ----------------------------------------------------------------- auditor
+
+TEST(Auditor, FlagsHighDuplicatePublishers) {
+  FraudAuditorOptions opts;
+  opts.duplicate_rate_threshold = 0.10;
+  opts.min_clicks = 50;
+  FraudAuditor auditor(opts);
+  // Publisher 1: clean (2% duplicates). Publisher 2: dirty (40%).
+  for (int i = 0; i < 1000; ++i) {
+    auditor.observe(make_click(1, 1, 1, i), i % 50 == 0);
+    auditor.observe(make_click(2, 1, 2, i), i % 5 < 2);
+  }
+  const auto report = auditor.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].publisher_id, 2u);  // sorted: dirtiest first
+  EXPECT_TRUE(report[0].flagged);
+  EXPECT_NEAR(report[0].duplicate_rate, 0.4, 0.01);
+  EXPECT_FALSE(report[1].flagged);
+}
+
+TEST(Auditor, IgnoresLowVolumePublishers) {
+  FraudAuditorOptions opts;
+  opts.min_clicks = 100;
+  FraudAuditor auditor(opts);
+  for (int i = 0; i < 10; ++i) auditor.observe(make_click(1, 1, 3, i), true);
+  const auto report = auditor.report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_FALSE(report[0].flagged) << "too few clicks to flag";
+}
+
+// ------------------------------------------------------------- joint audit
+
+TEST(JointAudit, IdenticalDetectorsAlwaysAgree) {
+  const auto w = core::WindowSpec::sliding_count(200);
+  core::TimingBloomFilter::Options opts;
+  opts.entries = 1 << 14;
+  opts.hash_count = 5;
+  core::TimingBloomFilter pub(w, opts);
+  core::TimingBloomFilter adv(w, opts);
+
+  stream::MixedTrafficOptions gopts;
+  gopts.user_count = 100;
+  stream::MixedTrafficStream gen(gopts);
+  std::vector<stream::Click> clicks;
+  for (int i = 0; i < 3000; ++i) clicks.push_back(gen.next());
+
+  const auto report = run_joint_audit(pub, adv, clicks, from_dollars(0.25));
+  EXPECT_EQ(report.disagreements(), 0u);
+  EXPECT_EQ(report.disputed, 0);
+  EXPECT_DOUBLE_EQ(report.agreement_rate(), 1.0);
+  EXPECT_EQ(report.clicks, clicks.size());
+  EXPECT_GT(report.both_duplicate, 0u);  // tiny population duplicates a lot
+}
+
+TEST(JointAudit, SketchVsExactDisagreesOnlyOnFalsePositives) {
+  const auto w = core::WindowSpec::sliding_count(200);
+  core::TimingBloomFilter::Options opts;
+  opts.entries = 1 << 8;  // deliberately undersized → visible FP rate
+  opts.hash_count = 2;
+  core::TimingBloomFilter pub(w, opts);
+  baseline::ExactSlidingDetector adv(w);
+
+  stream::MixedTrafficOptions gopts;
+  gopts.user_count = 500;
+  stream::MixedTrafficStream gen(gopts);
+  std::vector<stream::Click> clicks;
+  for (int i = 0; i < 5000; ++i) clicks.push_back(gen.next());
+
+  const auto report = run_joint_audit(pub, adv, clicks, from_dollars(0.25));
+  // The undersized sketch over-flags (false positives), and each FP also
+  // diverges the two sides' validity state, so disagreements flow in both
+  // directions — exactly the dispute volume the audit exists to expose.
+  EXPECT_GT(report.disagreements(), 0u);
+  EXPECT_GT(report.advertiser_only_valid, report.publisher_only_valid)
+      << "over-flagging should dominate the disagreement mix";
+  EXPECT_LT(report.agreement_rate(), 1.0);
+  EXPECT_EQ(report.disputed,
+            static_cast<Micros>(report.disagreements()) * from_dollars(0.25));
+}
+
+}  // namespace
+}  // namespace ppc::adnet

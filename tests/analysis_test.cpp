@@ -1,0 +1,164 @@
+// Tests for the analysis substrate: theoretical FP formulas, the
+// confusion-matrix metrics, and theory-vs-measurement agreement (the core
+// statistical claim behind Figures 2a/2b).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/experiment.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/theory.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+namespace ppc::analysis {
+namespace {
+
+TEST(Theory, BloomFprBasicShape) {
+  EXPECT_DOUBLE_EQ(bloom_fpr(1000, 0, 5), 0.0);
+  EXPECT_GT(bloom_fpr(1000, 100, 5), 0.0);
+  EXPECT_LT(bloom_fpr(1000, 100, 5), 1.0);
+  // More elements → more false positives.
+  EXPECT_LT(bloom_fpr(1 << 20, 1 << 15, 7), bloom_fpr(1 << 20, 1 << 18, 7));
+  // More memory → fewer false positives.
+  EXPECT_GT(bloom_fpr(1 << 18, 1 << 15, 7), bloom_fpr(1 << 22, 1 << 15, 7));
+}
+
+TEST(Theory, ExactMatchesApproxAtScale) {
+  const double exact = bloom_fpr(1 << 20, 1 << 17, 5);
+  const double approx = bloom_fpr_approx(1 << 20, 1 << 17, 5);
+  EXPECT_NEAR(exact, approx, 1e-4);
+}
+
+TEST(Theory, OptimalKMinimizesFpr) {
+  const double m = 1 << 16;
+  const double n = 1 << 12;
+  const std::size_t k_opt = optimal_k(m, n);
+  EXPECT_EQ(k_opt, 11u);  // ln2 · 16 ≈ 11.09
+  const double best = bloom_fpr(m, n, k_opt);
+  EXPECT_LE(best, bloom_fpr(m, n, k_opt - 3));
+  EXPECT_LE(best, bloom_fpr(m, n, k_opt + 3));
+}
+
+TEST(Theory, OptimalKClamps) {
+  EXPECT_EQ(optimal_k(100, 1'000'000), 1u);
+  EXPECT_EQ(optimal_k(1e12, 1), 64u);
+}
+
+TEST(Theory, GbfBeatsSingleFilterHoldingWholeWindow) {
+  // The crux of Figure 1: splitting N over Q sub-filters of the same size m
+  // yields far fewer false positives than one m-filter holding all N.
+  const double m = 1 << 20;
+  const double n = 1 << 20;
+  // At k=1 the two coincide (Q filters with n/Q each ≈ one filter with n);
+  // the GBF advantage appears for k ≥ 2 and grows with k.
+  EXPECT_NEAR(gbf_fpr_upper(m, n, 31, 1), metwally_main_fpr(m, n, 1), 1e-3);
+  for (std::size_t k : {2u, 4u, 8u}) {
+    EXPECT_LT(gbf_fpr_upper(m, n, 31, k), 0.5 * metwally_main_fpr(m, n, k))
+        << "k=" << k;
+  }
+}
+
+TEST(Theory, GbfMeanBelowUpper) {
+  const double m = 1 << 18;
+  EXPECT_LE(gbf_fpr_mean(m, 1 << 17, 8, 5), gbf_fpr_upper(m, 1 << 17, 8, 5));
+}
+
+TEST(Theory, PaperFigure2aEndpoint) {
+  // §5: N=2^20, Q=8, m=1,876,246, k=10 → FP ≈ 0.01.
+  const double f = gbf_fpr_upper(1'876'246, 1 << 20, 8, 10);
+  EXPECT_GT(f, 0.004);
+  EXPECT_LT(f, 0.02);
+}
+
+TEST(Theory, PaperFigure2bEndpoint) {
+  // §5: N=2^20, m=15,112,980 entries, k=10 → FP ≈ 0.001.
+  const double f = tbf_fpr(15'112'980, 1 << 20, 10);
+  EXPECT_GT(f, 0.0005);
+  EXPECT_LT(f, 0.002);
+}
+
+TEST(Theory, TbfEntryBits) {
+  // N=2^20, C=N-1 → wrap=2N-1 → 21 bits (paper §4.2: O(log N) per entry).
+  EXPECT_EQ(tbf_entry_bits(1 << 20, (1 << 20) - 1), 21u);
+  EXPECT_EQ(tbf_entry_bits(1 << 10, 1), 11u);  // 1025 codes → 11 bits
+  EXPECT_EQ(tbf_entry_bits(3, 1), 3u);         // 5 codes → 3 bits
+}
+
+TEST(Theory, MemoryAccounting) {
+  EXPECT_DOUBLE_EQ(gbf_memory_bits(1000, 7), 8000.0);
+  EXPECT_DOUBLE_EQ(metwally_memory_bits(1000, 4, 4, 8), 1000.0 * 24);
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(Metrics, RecordAndRates) {
+  ConfusionCounts c;
+  c.record(true, true);    // TP
+  c.record(true, false);   // FP
+  c.record(false, true);   // FN
+  c.record(false, false);  // TN
+  c.record(false, false);
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.5);
+  ConfusionCounts d;
+  d += c;
+  d += c;
+  EXPECT_EQ(d.total(), 10u);
+}
+
+TEST(Metrics, EmptyRatesAreZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.false_negative_rate(), 0.0);
+}
+
+TEST(Metrics, SummaryMentionsCounts) {
+  ConfusionCounts c;
+  c.record(true, false);
+  EXPECT_NE(c.summary().find("fp=1"), std::string::npos);
+}
+
+// --------------------------------------------- theory matches experiment
+
+TEST(TheoryVsExperiment, GbfFprWithinStatisticalTolerance) {
+  // Scaled-down Figure 2(a): N=2^14, Q=8, m scaled by the same N ratio.
+  constexpr std::uint64_t kN = 1 << 14;
+  constexpr std::uint32_t kQ = 8;
+  const std::uint64_t m = 1'876'246 / 64;  // keep k·n/m as in the paper
+  constexpr std::size_t kK = 5;
+
+  core::GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = m;
+  opts.hash_count = kK;
+  core::GroupBloomFilter gbf(core::WindowSpec::jumping_count(kN, kQ), opts);
+
+  DistinctRunConfig cfg{20 * kN, 10 * kN, 3};
+  const double measured = measure_fpr_distinct(gbf, cfg);
+  const double upper = gbf_fpr_upper(m, kN, kQ, kK);
+  const double mean = gbf_fpr_mean(m, kN, kQ, kK);
+  // Measured should sit near the mean prediction and below the upper bound
+  // (plus sampling slack).
+  EXPECT_LT(measured, upper * 1.3 + 1e-4);
+  EXPECT_NEAR(measured, mean, mean * 0.5 + 1e-4);
+}
+
+TEST(TheoryVsExperiment, TbfFprWithinStatisticalTolerance) {
+  constexpr std::uint64_t kN = 1 << 14;
+  const std::uint64_t m = 15'112'980 / 64;
+  constexpr std::size_t kK = 5;
+
+  core::TimingBloomFilter::Options opts;
+  opts.entries = m;
+  opts.hash_count = kK;
+  core::TimingBloomFilter tbf(core::WindowSpec::sliding_count(kN), opts);
+
+  DistinctRunConfig cfg{20 * kN, 10 * kN, 4};
+  const double measured = measure_fpr_distinct(tbf, cfg);
+  const double predicted = tbf_fpr(static_cast<double>(m), kN, kK);
+  EXPECT_NEAR(measured, predicted, predicted * 0.5 + 1e-4);
+}
+
+}  // namespace
+}  // namespace ppc::analysis

@@ -1,0 +1,128 @@
+// Batched-offer equivalence: offer_batch must be verdict-for-verdict
+// identical to the element-at-a-time path, across batch sizes that cross
+// sub-window jumps and wraparound boundaries, and the default base-class
+// implementation must work for every detector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/stable_bloom_filter.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "detector_test_util.hpp"
+
+namespace ppc::core {
+namespace {
+
+struct BatchCase {
+  std::size_t batch_size;
+};
+
+class GbfBatchTest : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(GbfBatchTest, BatchMatchesSequential) {
+  const auto w = WindowSpec::jumping_count(512, 4);
+  GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = 1 << 14;
+  opts.hash_count = 5;
+  GroupBloomFilter seq(w, opts);
+  GroupBloomFilter bat(w, opts);
+
+  const auto ids = testutil::make_id_stream(9000, 0.3, 1024, 55);
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) expected[i] = seq.offer(ids[i]);
+
+  const std::size_t bs = GetParam().batch_size;
+  std::vector<bool> got(ids.size());
+  // std::vector<bool> has no data(); use a plain buffer per batch.
+  for (std::size_t off = 0; off < ids.size(); off += bs) {
+    const std::size_t n = std::min(bs, ids.size() - off);
+    bool buf[4096];
+    ASSERT_LE(n, sizeof(buf));
+    bat.offer_batch(std::span<const ClickId>(ids.data() + off, n),
+                    std::span<bool>(buf, n));
+    for (std::size_t j = 0; j < n; ++j) got[off + j] = buf[j];
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "diverged at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GbfBatchTest,
+                         ::testing::Values(BatchCase{1}, BatchCase{2},
+                                           BatchCase{7}, BatchCase{128},
+                                           BatchCase{511}, BatchCase{4096}));
+
+class TbfBatchTest : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(TbfBatchTest, BatchMatchesSequential) {
+  const auto w = WindowSpec::sliding_count(512);
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 14;
+  opts.hash_count = 5;
+  TimingBloomFilter seq(w, opts);
+  TimingBloomFilter bat(w, opts);
+
+  const auto ids = testutil::make_id_stream(9000, 0.3, 1024, 56);
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) expected[i] = seq.offer(ids[i]);
+
+  const std::size_t bs = GetParam().batch_size;
+  std::vector<bool> got(ids.size());
+  for (std::size_t off = 0; off < ids.size(); off += bs) {
+    const std::size_t n = std::min(bs, ids.size() - off);
+    bool buf[4096];
+    ASSERT_LE(n, sizeof(buf));
+    bat.offer_batch(std::span<const ClickId>(ids.data() + off, n),
+                    std::span<bool>(buf, n));
+    for (std::size_t j = 0; j < n; ++j) got[off + j] = buf[j];
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "diverged at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TbfBatchTest,
+                         ::testing::Values(BatchCase{1}, BatchCase{2},
+                                           BatchCase{7}, BatchCase{128},
+                                           BatchCase{511}, BatchCase{4096}));
+
+TEST(BatchDefault, BaseImplementationWorksForAnyDetector) {
+  baseline::StableBloomFilter::Options opts;
+  opts.cells = 1 << 12;
+  baseline::StableBloomFilter a(WindowSpec::sliding_count(128), opts);
+  baseline::StableBloomFilter b(WindowSpec::sliding_count(128), opts);
+  const auto ids = testutil::make_id_stream(2000, 0.4, 128, 57);
+  bool buf[2000];
+  a.offer_batch(std::span<const ClickId>(ids.data(), ids.size()),
+                std::span<bool>(buf, ids.size()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(buf[i], b.offer(ids[i]));
+  }
+}
+
+TEST(Batch, EmptyBatchIsANoOp) {
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 10;
+  TimingBloomFilter tbf(WindowSpec::sliding_count(16), opts);
+  tbf.offer_batch({}, {});
+  EXPECT_FALSE(tbf.offer(1));
+}
+
+TEST(Batch, TimeBasedFallsBackCorrectly) {
+  const auto w = WindowSpec::sliding_time(1'000'000, 10'000);
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 12;
+  TimingBloomFilter tbf(w, opts);
+  const ClickId ids[] = {1, 2, 1};
+  bool buf[3];
+  tbf.offer_batch(std::span<const ClickId>(ids, 3), std::span<bool>(buf, 3),
+                  500'000);
+  EXPECT_FALSE(buf[0]);
+  EXPECT_FALSE(buf[1]);
+  EXPECT_TRUE(buf[2]);
+}
+
+}  // namespace
+}  // namespace ppc::core

@@ -1,0 +1,202 @@
+// Detector conformance suite: every DuplicateDetector implementation in
+// the library must satisfy the same basic contract, independent of its
+// algorithm. One parameterized suite runs the whole matrix, so adding a
+// detector means adding one factory line here.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baseline/exact_detectors.hpp"
+#include "baseline/landmark_detector.hpp"
+#include "baseline/metwally_jumping_detector.hpp"
+#include "baseline/metwally_sliding_detector.hpp"
+#include "baseline/naive_jumping_bloom.hpp"
+#include "core/detector_factory.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/sharded_detector.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+namespace ppc {
+namespace {
+
+struct DetectorCase {
+  std::string label;
+  std::function<std::unique_ptr<core::DuplicateDetector>()> make;
+  // Number of filler arrivals that guarantees an id offered at arrival 0
+  // has expired (window length + slack for jumping granularity).
+  std::uint64_t expiry_fill;
+};
+
+constexpr std::uint64_t kN = 256;
+
+std::vector<DetectorCase> all_detectors() {
+  std::vector<DetectorCase> cases;
+  cases.push_back({"GBF",
+                   [] {
+                     core::GroupBloomFilter::Options o;
+                     o.bits_per_subfilter = 1 << 14;
+                     o.hash_count = 5;
+                     return std::make_unique<core::GroupBloomFilter>(
+                         core::WindowSpec::jumping_count(kN, 4), o);
+                   },
+                   2 * kN});
+  cases.push_back({"TBF-sliding",
+                   [] {
+                     core::TimingBloomFilter::Options o;
+                     o.entries = 1 << 14;
+                     o.hash_count = 5;
+                     return std::make_unique<core::TimingBloomFilter>(
+                         core::WindowSpec::sliding_count(kN), o);
+                   },
+                   2 * kN});
+  cases.push_back({"TBF-jumping",
+                   [] {
+                     core::TimingBloomFilter::Options o;
+                     o.entries = 1 << 14;
+                     o.hash_count = 5;
+                     return std::make_unique<core::TimingBloomFilter>(
+                         core::WindowSpec::jumping_count(kN, 64), o);
+                   },
+                   2 * kN});
+  cases.push_back({"Landmark-BF",
+                   [] {
+                     baseline::LandmarkBloomDetector::Options o;
+                     o.bits = 1 << 14;
+                     o.hash_count = 5;
+                     return std::make_unique<baseline::LandmarkBloomDetector>(
+                         core::WindowSpec::landmark_count(kN), o);
+                   },
+                   2 * kN});
+  cases.push_back({"Metwally-jumping",
+                   [] {
+                     baseline::MetwallyJumpingDetector::Options o;
+                     o.cells = 1 << 14;
+                     o.sub_counter_bits = 8;
+                     o.main_counter_bits = 16;
+                     o.hash_count = 5;
+                     return std::make_unique<baseline::MetwallyJumpingDetector>(
+                         core::WindowSpec::jumping_count(kN, 4), o);
+                   },
+                   2 * kN});
+  cases.push_back({"Metwally-sliding",
+                   [] {
+                     baseline::MetwallySlidingDetector::Options o;
+                     o.cells = 1 << 14;
+                     o.counter_bits = 8;
+                     o.hash_count = 5;
+                     return std::make_unique<baseline::MetwallySlidingDetector>(
+                         core::WindowSpec::sliding_count(kN), o);
+                   },
+                   2 * kN});
+  cases.push_back({"Naive-jumping",
+                   [] {
+                     baseline::NaiveJumpingBloomDetector::Options o;
+                     o.bits_per_subfilter = 1 << 14;
+                     o.hash_count = 5;
+                     return std::make_unique<baseline::NaiveJumpingBloomDetector>(
+                         core::WindowSpec::jumping_count(kN, 4), o);
+                   },
+                   2 * kN});
+  cases.push_back({"Exact-sliding",
+                   [] {
+                     return std::make_unique<baseline::ExactSlidingDetector>(
+                         core::WindowSpec::sliding_count(kN));
+                   },
+                   2 * kN});
+  cases.push_back({"Exact-jumping",
+                   [] {
+                     return std::make_unique<baseline::ExactJumpingDetector>(
+                         core::WindowSpec::jumping_count(kN, 4));
+                   },
+                   2 * kN});
+  cases.push_back({"Sharded-TBF",
+                   [] {
+                     return std::make_unique<core::ShardedDetector>(
+                         4, [](std::size_t) {
+                           core::TimingBloomFilter::Options o;
+                           o.entries = 1 << 12;
+                           o.hash_count = 5;
+                           return std::make_unique<core::TimingBloomFilter>(
+                               core::WindowSpec::sliding_count(kN), o);
+                         });
+                   },
+                   // Count-based windows shard approximately: each of the 4
+                   // shards must see kN of ITS OWN arrivals before the id
+                   // expires, so over-fill with generous slack.
+                   16 * kN});
+  return cases;
+}
+
+class DetectorConformanceTest : public ::testing::TestWithParam<DetectorCase> {
+};
+
+TEST_P(DetectorConformanceTest, FirstOfferOfAnIdIsValid) {
+  auto d = GetParam().make();
+  EXPECT_FALSE(d->offer(0xdead));
+}
+
+TEST_P(DetectorConformanceTest, ImmediateRepeatIsDuplicate) {
+  auto d = GetParam().make();
+  d->offer(0xdead);
+  EXPECT_TRUE(d->offer(0xdead));
+}
+
+TEST_P(DetectorConformanceTest, DistinctIdsAreIndependent) {
+  auto d = GetParam().make();
+  d->offer(1);
+  EXPECT_FALSE(d->offer(2));
+}
+
+TEST_P(DetectorConformanceTest, ExpiryEventuallyForgets) {
+  auto d = GetParam().make();
+  d->offer(0xbeef);
+  for (std::uint64_t i = 0; i < GetParam().expiry_fill; ++i) {
+    d->offer(1'000'000 + i);
+  }
+  EXPECT_FALSE(d->offer(0xbeef))
+      << GetParam().label << " kept an id past its window";
+}
+
+TEST_P(DetectorConformanceTest, ResetRestoresFreshState) {
+  auto d = GetParam().make();
+  d->offer(7);
+  d->offer(8);
+  d->reset();
+  EXPECT_FALSE(d->offer(7));
+  EXPECT_FALSE(d->offer(8));
+  EXPECT_TRUE(d->offer(7));
+}
+
+TEST_P(DetectorConformanceTest, ReportsPositiveMemoryAndName) {
+  auto d = GetParam().make();
+  d->offer(1);  // exact detectors only consume memory once fed
+  EXPECT_GT(d->memory_bits(), 0u);
+  EXPECT_FALSE(d->name().empty());
+  EXPECT_NO_THROW(d->window().validate());
+}
+
+TEST_P(DetectorConformanceTest, DeterministicAcrossInstances) {
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 3000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const core::ClickId id = (x >> 33) % 600;
+    ASSERT_EQ(a->offer(id), b->offer(id)) << GetParam().label << " @" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorConformanceTest, ::testing::ValuesIn(all_detectors()),
+    [](const ::testing::TestParamInfo<DetectorCase>& info) {
+      std::string name = info.param.label;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ppc

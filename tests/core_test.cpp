@@ -1,0 +1,116 @@
+// Tests for WindowSpec validation and the detector factory's algorithm
+// selection (the paper's "which algorithm for which window" guidance).
+#include <gtest/gtest.h>
+
+#include "core/detector_factory.hpp"
+#include "core/duplicate_detector.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "core/window.hpp"
+
+namespace ppc::core {
+namespace {
+
+TEST(WindowSpec, FactoriesProduceValidSpecs) {
+  EXPECT_NO_THROW(WindowSpec::sliding_count(10).validate());
+  EXPECT_NO_THROW(WindowSpec::jumping_count(100, 4).validate());
+  EXPECT_NO_THROW(WindowSpec::landmark_count(5).validate());
+  EXPECT_NO_THROW(WindowSpec::sliding_time(1'000'000, 1000).validate());
+  EXPECT_NO_THROW(WindowSpec::jumping_time(1'000'000, 4, 1000).validate());
+}
+
+TEST(WindowSpec, RejectsNonsense) {
+  EXPECT_THROW(WindowSpec::sliding_count(0).validate(), std::invalid_argument);
+  EXPECT_THROW(WindowSpec::jumping_count(3, 5).validate(),
+               std::invalid_argument);  // fewer elements than sub-windows
+  WindowSpec bad_subs = WindowSpec::sliding_count(10);
+  bad_subs.subwindows = 3;
+  EXPECT_THROW(bad_subs.validate(), std::invalid_argument);
+  WindowSpec bad_unit = WindowSpec::sliding_time(1'000'000, 0);
+  EXPECT_THROW(bad_unit.validate(), std::invalid_argument);
+  WindowSpec ragged_time = WindowSpec::sliding_time(1'000'001, 1000);
+  EXPECT_THROW(ragged_time.validate(), std::invalid_argument);
+  WindowSpec zero_q = WindowSpec::jumping_count(100, 4);
+  zero_q.subwindows = 0;
+  EXPECT_THROW(zero_q.validate(), std::invalid_argument);
+}
+
+TEST(WindowSpec, SubwindowLengthRoundsUp) {
+  EXPECT_EQ(WindowSpec::jumping_count(100, 4).subwindow_length(), 25u);
+  EXPECT_EQ(WindowSpec::jumping_count(101, 4).subwindow_length(), 26u);
+}
+
+TEST(WindowSpec, DescribeIsHumanReadable) {
+  EXPECT_EQ(WindowSpec::jumping_count(100, 4).describe(),
+            "jumping(N=100, Q=4)");
+  EXPECT_EQ(WindowSpec::sliding_count(7).describe(), "sliding(N=7)");
+  EXPECT_NE(WindowSpec::sliding_time(2000, 1000).describe().find("T=2000us"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------- factory
+
+TEST(Factory, SlidingGetsTbf) {
+  DetectorBudget budget;
+  auto d = make_detector(WindowSpec::sliding_count(1 << 10), budget);
+  EXPECT_EQ(d->name(), "TBF");
+}
+
+TEST(Factory, SmallQJumpingGetsGbf) {
+  DetectorBudget budget;
+  auto d = make_detector(WindowSpec::jumping_count(1 << 10, 8), budget);
+  EXPECT_EQ(d->name(), "GBF");
+}
+
+TEST(Factory, LargeQJumpingGetsTbf) {
+  DetectorBudget budget;
+  auto d = make_detector(WindowSpec::jumping_count(1 << 10, 256), budget);
+  EXPECT_EQ(d->name(), "TBF");
+}
+
+TEST(Factory, LandmarkGetsDoubleBufferedGbf) {
+  DetectorBudget budget;
+  auto d = make_detector(WindowSpec::landmark_count(1 << 10), budget);
+  EXPECT_EQ(d->name(), "GBF");
+  EXPECT_EQ(d->window().subwindows, 1u);
+}
+
+TEST(Factory, SplitsMemoryBudgetPerAlgorithm) {
+  DetectorBudget budget;
+  budget.total_memory_bits = 1 << 20;
+  // GBF: m(Q+1) bits, never exceeding the budget.
+  auto gbf = make_detector(WindowSpec::jumping_count(1 << 12, 7), budget);
+  EXPECT_LE(gbf->memory_bits(), budget.total_memory_bits);
+  EXPECT_GT(gbf->memory_bits(), budget.total_memory_bits * 9 / 10);
+  // TBF: entries·entry_bits, same property.
+  auto tbf = make_detector(WindowSpec::sliding_count(1 << 12), budget);
+  EXPECT_LE(tbf->memory_bits(), budget.total_memory_bits);
+  EXPECT_GT(tbf->memory_bits(), budget.total_memory_bits * 9 / 10);
+}
+
+TEST(Factory, TinyBudgetThrows) {
+  DetectorBudget budget;
+  budget.total_memory_bits = 4;
+  EXPECT_THROW(make_detector(WindowSpec::sliding_count(1 << 12), budget),
+               std::invalid_argument);
+}
+
+TEST(Factory, ProducedDetectorsWork) {
+  DetectorBudget budget;
+  budget.total_memory_bits = 1 << 22;
+  for (const auto& w :
+       {WindowSpec::sliding_count(1 << 10),
+        WindowSpec::jumping_count(1 << 10, 4),
+        WindowSpec::jumping_count(1 << 10, 128),
+        WindowSpec::landmark_count(1 << 10)}) {
+    auto d = make_detector(w, budget);
+    EXPECT_FALSE(d->offer(12345)) << d->name();
+    EXPECT_TRUE(d->offer(12345)) << d->name();
+    EXPECT_TRUE(d->zero_false_negatives());
+    d->reset();
+    EXPECT_FALSE(d->offer(12345)) << d->name();
+  }
+}
+
+}  // namespace
+}  // namespace ppc::core

@@ -1,0 +1,42 @@
+// Shared helpers for detector tests: identifier-stream makers with tunable
+// duplication, and the one-sided correctness check (a sketch detector may
+// only ever ADD positives relative to exact ground truth).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/duplicate_detector.hpp"
+#include "stream/rng.hpp"
+
+namespace ppc::testutil {
+
+/// Identifier stream where each arrival repeats a recent identifier with
+/// probability `dup_prob` (lookback uniform in [1, max_gap]), otherwise
+/// introduces a fresh one. Exercises both within-window duplicates and
+/// across-window re-appearances.
+inline std::vector<std::uint64_t> make_id_stream(std::uint64_t count,
+                                                 double dup_prob,
+                                                 std::uint64_t max_gap,
+                                                 std::uint64_t seed) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  stream::Rng rng(seed);
+  std::uint64_t fresh = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!ids.empty() && rng.chance(dup_prob)) {
+      const std::uint64_t gap = 1 + rng.below(std::min(max_gap, i));
+      ids.push_back(ids[i - gap]);
+    } else {
+      // Salted so different seeds draw from disjoint id spaces.
+      ids.push_back((seed << 40) + fresh++);
+    }
+  }
+  return ids;
+}
+
+}  // namespace ppc::testutil

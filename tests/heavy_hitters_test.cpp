@@ -1,0 +1,104 @@
+// Tests for the Space-Saving heavy-hitters structure: exactness below
+// capacity, the frequent-item guarantee, error bounds, and Zipf behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/heavy_hitters.hpp"
+#include "stream/rng.hpp"
+#include "stream/zipf.hpp"
+
+namespace ppc::analysis {
+namespace {
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(16);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (std::uint64_t key = 0; key < 10; ++key) {
+      for (std::uint64_t i = 0; i <= key; ++i) ss.offer(key);
+    }
+  }
+  EXPECT_EQ(ss.monitored(), 10u);
+  const auto entries = ss.entries();
+  ASSERT_EQ(entries.size(), 10u);
+  EXPECT_EQ(entries.front().key, 9u);
+  EXPECT_EQ(entries.front().count, 50u);
+  EXPECT_EQ(entries.front().error, 0u);
+  EXPECT_EQ(entries.back().key, 0u);
+  EXPECT_EQ(entries.back().count, 5u);
+  // Sorted descending.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].count, entries[i].count);
+  }
+}
+
+TEST(SpaceSaving, CountsAreUpperBoundsWithBoundedError) {
+  // Adversarial-ish stream over a key space 8x the capacity.
+  SpaceSaving ss(32);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  stream::Rng rng(3);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t key = rng.below(256);
+    ss.offer(key);
+    ++truth[key];
+  }
+  const std::uint64_t max_error = ss.stream_length() / ss.capacity();
+  for (const auto& e : ss.entries()) {
+    EXPECT_GE(e.count, truth[e.key]) << "count must upper-bound truth";
+    EXPECT_LE(e.count - e.error, truth[e.key])
+        << "count - error must lower-bound truth";
+    EXPECT_LE(e.error, max_error) << "error beyond the N/m bound";
+  }
+}
+
+TEST(SpaceSaving, GuaranteesTrueHeavyHitters) {
+  // One key is 30% of the stream; with capacity 64 it MUST be tracked and
+  // reported on top.
+  SpaceSaving ss(64);
+  stream::Rng rng(4);
+  for (int i = 0; i < 30'000; ++i) {
+    ss.offer(rng.chance(0.3) ? 42u : 1000 + rng.below(5000));
+  }
+  const auto top = ss.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, 42u);
+  EXPECT_TRUE(ss.guaranteed_frequent(42, ss.stream_length() / 10));
+  EXPECT_FALSE(ss.guaranteed_frequent(99999, 0));
+}
+
+TEST(SpaceSaving, TopKOnZipfStreamFindsTheHead) {
+  SpaceSaving ss(128);
+  stream::ZipfSampler zipf(100'000, 1.2);
+  stream::Rng rng(5);
+  for (int i = 0; i < 200'000; ++i) ss.offer(zipf.sample(rng));
+  const auto top = ss.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  // The five most popular Zipf ranks are 0..4 (in some order).
+  for (const auto& e : top) {
+    EXPECT_LT(e.key, 8u) << "a tail key displaced the Zipf head";
+  }
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(8);
+  ss.offer(1);
+  ss.offer(1);
+  ss.clear();
+  EXPECT_EQ(ss.monitored(), 0u);
+  EXPECT_EQ(ss.stream_length(), 0u);
+  EXPECT_TRUE(ss.entries().empty());
+}
+
+TEST(SpaceSaving, TopMoreThanMonitoredReturnsAll) {
+  SpaceSaving ss(8);
+  ss.offer(1);
+  ss.offer(2);
+  EXPECT_EQ(ss.top(100).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ppc::analysis

@@ -1,0 +1,63 @@
+// Meta-tests for the validity oracles themselves: when the "sketch" is an
+// exact detector, validity equals the detector's own verdicts and the
+// oracle must agree with it on every arrival (no FPs, no FNs). This pins
+// the test infrastructure to the window semantics before the real property
+// tests rely on it.
+#include <gtest/gtest.h>
+
+#include "analysis/validity_oracle.hpp"
+#include "baseline/exact_detectors.hpp"
+#include "detector_test_util.hpp"
+
+namespace ppc::analysis {
+namespace {
+
+TEST(OracleMeta, SlidingOracleAgreesWithExactDetector) {
+  for (const std::uint64_t n : {1ull, 2ull, 3ull, 64ull, 257ull}) {
+    baseline::ExactSlidingDetector exact(core::WindowSpec::sliding_count(n));
+    SlidingOracle oracle(n);
+    const auto ids = testutil::make_id_stream(5000, 0.4, n * 2 + 2, n);
+    const auto counts = run_self_consistency(exact, oracle, ids);
+    EXPECT_EQ(counts.false_negative, 0u) << "N=" << n << " " << counts.summary();
+    EXPECT_EQ(counts.false_positive, 0u) << "N=" << n << " " << counts.summary();
+  }
+}
+
+TEST(OracleMeta, JumpingOracleAgreesWithExactDetector) {
+  struct Case {
+    std::uint64_t n;
+    std::uint32_t q;
+  };
+  for (const Case c : {Case{4, 2}, Case{64, 4}, Case{100, 1}, Case{1000, 7},
+                       Case{256, 256}}) {
+    baseline::ExactJumpingDetector exact(
+        core::WindowSpec::jumping_count(c.n, c.q));
+    JumpingOracle oracle(c.n, c.q);
+    const auto ids = testutil::make_id_stream(5000, 0.4, c.n * 2, c.q);
+    const auto counts = run_self_consistency(exact, oracle, ids);
+    EXPECT_EQ(counts.false_negative, 0u)
+        << "N=" << c.n << " Q=" << c.q << " " << counts.summary();
+    EXPECT_EQ(counts.false_positive, 0u)
+        << "N=" << c.n << " Q=" << c.q << " " << counts.summary();
+  }
+}
+
+TEST(OracleMeta, TimeSlidingOracleAgreesWithExactDetector) {
+  const auto w = core::WindowSpec::sliding_time(50'000, 1'000);
+  baseline::ExactTimeSlidingDetector exact(w);
+  TimeSlidingOracle oracle(50, 1'000);
+  stream::Rng rng(31);
+  std::vector<std::uint64_t> ids, times;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    t += 1 + rng.below(2'500);
+    ids.push_back(rng.below(100));
+    times.push_back(t);
+  }
+  const auto counts = run_self_consistency(exact, oracle, ids, &times);
+  EXPECT_EQ(counts.false_negative, 0u) << counts.summary();
+  EXPECT_EQ(counts.false_positive, 0u) << counts.summary();
+}
+
+}  // namespace
+}  // namespace ppc::analysis

@@ -1,0 +1,84 @@
+// Tests for the capacity-planning module: plans must hit their FP targets
+// (verified both analytically and by simulation) and behave monotonically.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/sizing.hpp"
+#include "analysis/theory.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+
+namespace ppc::analysis {
+namespace {
+
+TEST(Sizing, RejectsBadTargets) {
+  EXPECT_THROW(bloom_bits_for(1000, 0.0), std::invalid_argument);
+  EXPECT_THROW(bloom_bits_for(1000, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan_gbf(1000, 0, 0.01), std::invalid_argument);
+  EXPECT_THROW(plan_tbf(1000, -0.5), std::invalid_argument);
+}
+
+TEST(Sizing, BloomBitsMatchTextbookFormula) {
+  // 1% at optimal k costs ~9.585 bits per element.
+  const std::uint64_t bits = bloom_bits_for(10'000, 0.01);
+  EXPECT_NEAR(static_cast<double>(bits) / 10'000, 9.585, 0.01);
+}
+
+TEST(Sizing, PlansMeetTargetAnalytically) {
+  for (double target : {0.05, 0.01, 0.001}) {
+    const auto gbf = plan_gbf(1 << 16, 8, target);
+    EXPECT_LE(gbf.predicted_fpr, target) << "gbf target " << target;
+    EXPECT_GT(gbf.predicted_fpr, target / 20) << "gbf grossly oversized";
+    const auto tbf = plan_tbf(1 << 16, target);
+    EXPECT_LE(tbf.predicted_fpr, target) << "tbf target " << target;
+    EXPECT_GT(tbf.predicted_fpr, target / 20) << "tbf grossly oversized";
+  }
+}
+
+TEST(Sizing, TighterTargetsCostMoreMemory) {
+  const auto loose = plan_tbf(1 << 16, 0.01);
+  const auto tight = plan_tbf(1 << 16, 0.0001);
+  EXPECT_GT(tight.total_bits, loose.total_bits);
+  EXPECT_GT(tight.hash_count, loose.hash_count);
+}
+
+TEST(Sizing, GbfPlanMeetsTargetInSimulation) {
+  constexpr std::uint64_t kN = 1 << 14;
+  constexpr double kTarget = 0.01;
+  const auto plan = plan_gbf(kN, 8, kTarget);
+
+  core::GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = plan.bits_per_subfilter;
+  opts.hash_count = plan.hash_count;
+  core::GroupBloomFilter gbf(core::WindowSpec::jumping_count(kN, 8), opts);
+  DistinctRunConfig cfg{16 * kN, 8 * kN, 5};
+  const double measured = measure_fpr_distinct(gbf, cfg);
+  EXPECT_LE(measured, kTarget * 1.2);  // sampling slack
+}
+
+TEST(Sizing, TbfPlanMeetsTargetInSimulation) {
+  constexpr std::uint64_t kN = 1 << 14;
+  constexpr double kTarget = 0.01;
+  const auto plan = plan_tbf(kN, kTarget);
+
+  core::TimingBloomFilter::Options opts;
+  opts.entries = plan.entries;
+  opts.hash_count = plan.hash_count;
+  opts.c = plan.c;
+  core::TimingBloomFilter tbf(core::WindowSpec::sliding_count(kN), opts);
+  EXPECT_EQ(tbf.entry_bits(), plan.entry_bits);
+  DistinctRunConfig cfg{16 * kN, 8 * kN, 6};
+  const double measured = measure_fpr_distinct(tbf, cfg);
+  EXPECT_LE(measured, kTarget * 1.2);
+}
+
+TEST(Sizing, MemoryRatioReflectsEntryWidthPenalty) {
+  // TBF pays ~log2(2N) bits per entry where GBF pays (Q+1)/Q bits per bit;
+  // at small Q the GBF is far cheaper for the same target.
+  const double ratio = tbf_over_gbf_memory_ratio(1 << 20, 8, 0.01);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+}  // namespace
+}  // namespace ppc::analysis

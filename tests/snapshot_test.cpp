@@ -1,0 +1,142 @@
+// Tests for detector snapshotting: a reloaded detector must be verdict-
+// for-verdict identical to one that never stopped, for both algorithms,
+// both window bases, and at arbitrary checkpoints (including mid-cleaning
+// and mid-sub-window).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "detector_test_util.hpp"
+
+namespace ppc::core {
+namespace {
+
+GroupBloomFilter::Options gbf_opts() {
+  GroupBloomFilter::Options o;
+  o.bits_per_subfilter = 1 << 14;
+  o.hash_count = 5;
+  o.seed = 9;
+  return o;
+}
+
+TimingBloomFilter::Options tbf_opts() {
+  TimingBloomFilter::Options o;
+  o.entries = 1 << 14;
+  o.hash_count = 5;
+  o.seed = 9;
+  return o;
+}
+
+struct CheckpointCase {
+  std::uint64_t checkpoint_at;
+};
+
+class GbfSnapshotTest : public ::testing::TestWithParam<CheckpointCase> {};
+
+TEST_P(GbfSnapshotTest, ResumesIdenticallyAfterReload) {
+  const auto w = WindowSpec::jumping_count(512, 4);
+  GroupBloomFilter reference(w, gbf_opts());
+  GroupBloomFilter live(w, gbf_opts());
+  const auto ids = testutil::make_id_stream(8000, 0.3, 1024, 77);
+
+  std::unique_ptr<GroupBloomFilter> resumed;
+  for (std::uint64_t i = 0; i < ids.size(); ++i) {
+    if (i == GetParam().checkpoint_at) {
+      std::stringstream buffer;
+      live.save(buffer);
+      resumed = GroupBloomFilter::load(buffer);
+    }
+    const bool expected = reference.offer(ids[i]);
+    DuplicateDetector& d = resumed ? *resumed : live;
+    ASSERT_EQ(d.offer(ids[i]), expected) << "diverged at arrival " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Checkpoints, GbfSnapshotTest,
+    ::testing::Values(CheckpointCase{0},     // before any arrival
+                      CheckpointCase{1},     // right after the first
+                      CheckpointCase{511},   // just before a jump
+                      CheckpointCase{512},   // right at a jump
+                      CheckpointCase{1300},  // mid-sub-window, mid-cleaning
+                      CheckpointCase{4096}));
+
+class TbfSnapshotTest : public ::testing::TestWithParam<CheckpointCase> {};
+
+TEST_P(TbfSnapshotTest, ResumesIdenticallyAfterReload) {
+  const auto w = WindowSpec::sliding_count(512);
+  TimingBloomFilter reference(w, tbf_opts());
+  TimingBloomFilter live(w, tbf_opts());
+  const auto ids = testutil::make_id_stream(8000, 0.3, 1024, 78);
+
+  std::unique_ptr<TimingBloomFilter> resumed;
+  for (std::uint64_t i = 0; i < ids.size(); ++i) {
+    if (i == GetParam().checkpoint_at) {
+      std::stringstream buffer;
+      live.save(buffer);
+      resumed = TimingBloomFilter::load(buffer);
+    }
+    const bool expected = reference.offer(ids[i]);
+    DuplicateDetector& d = resumed ? *resumed : live;
+    ASSERT_EQ(d.offer(ids[i]), expected) << "diverged at arrival " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Checkpoints, TbfSnapshotTest,
+    ::testing::Values(CheckpointCase{0}, CheckpointCase{1},
+                      CheckpointCase{511}, CheckpointCase{512},
+                      CheckpointCase{1023},  // wraparound boundary region
+                      CheckpointCase{4096}));
+
+TEST(TbfSnapshot, TimeBasedStateSurvives) {
+  const auto w = WindowSpec::sliding_time(1'000'000, 10'000);
+  TimingBloomFilter live(w, tbf_opts());
+  live.offer(5, 100'000);
+  live.offer(6, 200'000);
+
+  std::stringstream buffer;
+  live.save(buffer);
+  auto resumed = TimingBloomFilter::load(buffer);
+
+  // In-window duplicates still flagged, expiry clock still correct.
+  EXPECT_TRUE(resumed->offer(5, 300'000));
+  EXPECT_FALSE(resumed->offer(5, 5'000'000));
+}
+
+TEST(GbfSnapshot, TimeBasedStateSurvives) {
+  const auto w = WindowSpec::jumping_time(1'000'000, 4, 10'000);
+  GroupBloomFilter live(w, gbf_opts());
+  live.offer(5, 100'000);
+
+  std::stringstream buffer;
+  live.save(buffer);
+  auto resumed = GroupBloomFilter::load(buffer);
+  EXPECT_TRUE(resumed->offer(5, 300'000));
+  EXPECT_FALSE(resumed->offer(5, 10'000'000));
+}
+
+TEST(Snapshot, RejectsGarbageAndWrongMagic) {
+  std::stringstream garbage("this is not a snapshot at all, sorry");
+  EXPECT_THROW(TimingBloomFilter::load(garbage), std::runtime_error);
+
+  // A GBF snapshot is not a TBF snapshot.
+  GroupBloomFilter gbf(WindowSpec::jumping_count(64, 2), gbf_opts());
+  std::stringstream buffer;
+  gbf.save(buffer);
+  EXPECT_THROW(TimingBloomFilter::load(buffer), std::runtime_error);
+}
+
+TEST(Snapshot, RejectsTruncatedInput) {
+  TimingBloomFilter tbf(WindowSpec::sliding_count(64), tbf_opts());
+  std::stringstream buffer;
+  tbf.save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(TimingBloomFilter::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppc::core

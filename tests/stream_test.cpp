@@ -1,0 +1,306 @@
+// Tests for the click-stream substrate: RNG, Zipf sampler, generators,
+// identifier policies, and trace round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+#include "stream/rng.hpp"
+#include "stream/trace.hpp"
+#include "stream/zipf.hpp"
+
+namespace ppc::stream {
+namespace {
+
+// -------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(5), b(5), c(6);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / kTrials, 250.0, 5.0);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(9);
+  Rng b = a.fork();
+  int matches = 0;
+  for (int i = 0; i < 1000; ++i) matches += (a.next() == b.next());
+  EXPECT_EQ(matches, 0);
+}
+
+// ------------------------------------------------------------------- Zipf
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, StaysInUniverse) {
+  ZipfSampler z(100, 1.2);
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, UniverseOfOneAlwaysReturnsZero) {
+  ZipfSampler z(1, 1.5);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, TopRankFrequencyMatchesTheory) {
+  // P(rank 0) = 1 / (1^s · H_{n,s}) — compare empirically.
+  constexpr std::uint64_t kUniverse = 1000;
+  constexpr double kS = 1.0;
+  double harmonic = 0;
+  for (std::uint64_t r = 1; r <= kUniverse; ++r) {
+    harmonic += 1.0 / std::pow(static_cast<double>(r), kS);
+  }
+  const double expected = 1.0 / harmonic;
+
+  ZipfSampler z(kUniverse, kS);
+  Rng rng(6);
+  constexpr int kTrials = 200'000;
+  int rank0 = 0;
+  for (int i = 0; i < kTrials; ++i) rank0 += (z.sample(rng) == 0);
+  EXPECT_NEAR(static_cast<double>(rank0) / kTrials, expected,
+              5 * std::sqrt(expected / kTrials));
+}
+
+TEST(Zipf, HeavierExponentSkewsHarder) {
+  ZipfSampler mild(1000, 0.8);
+  ZipfSampler heavy(1000, 1.8);
+  Rng r1(7), r2(7);
+  int mild0 = 0, heavy0 = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    mild0 += (mild.sample(r1) == 0);
+    heavy0 += (heavy.sample(r2) == 0);
+  }
+  EXPECT_GT(heavy0, 2 * mild0);
+}
+
+// ------------------------------------------------------------ generators
+
+TEST(DistinctStream, IdentifiersNeverRepeat) {
+  DistinctStream gen;
+  std::unordered_set<std::uint64_t> ids;
+  for (int i = 0; i < 50'000; ++i) {
+    const Click c = gen.next();
+    EXPECT_TRUE(
+        ids.insert(click_identifier(c, IdentifierPolicy::kIpCookieAndAd))
+            .second)
+        << "identifier repeated at " << i;
+  }
+}
+
+TEST(DistinctStream, TimestampsStrictlyIncrease) {
+  DistinctStream gen;
+  std::uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Click c = gen.next();
+    EXPECT_GT(c.time_us, last);
+    last = c.time_us;
+  }
+}
+
+TEST(MixedTraffic, ProducesNaturalDuplicates) {
+  MixedTrafficOptions opts;
+  opts.user_count = 50;  // tiny population → many repeats
+  opts.ad_count = 4;
+  MixedTrafficStream gen(opts);
+  std::set<std::uint64_t> ids;
+  int dups = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!ids.insert(click_identifier(gen.next())).second) ++dups;
+  }
+  EXPECT_GT(dups, 500);
+}
+
+TEST(MixedTraffic, DeterministicPerSeed) {
+  MixedTrafficStream a{MixedTrafficOptions{}};
+  MixedTrafficStream b{MixedTrafficOptions{}};
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(BotnetAttack, RespectsAttackWindowAndFraction) {
+  BotnetAttackOptions opts;
+  opts.attack_fraction = 0.5;
+  opts.attack_start_us = 0;
+  opts.attack_end_us = ~std::uint64_t{0};
+  auto gen = BotnetAttackStream(
+      std::make_unique<DistinctStream>(DistinctStreamOptions{}), opts);
+  int attacks = 0;
+  constexpr int kClicks = 10'000;
+  for (int i = 0; i < kClicks; ++i) {
+    const Click c = gen.next();
+    if (gen.last_was_attack()) {
+      ++attacks;
+      EXPECT_EQ(c.ad_id, opts.target_ad);
+      EXPECT_EQ(c.publisher_id, opts.colluding_publisher);
+    }
+  }
+  EXPECT_NEAR(attacks, kClicks / 2, 300);
+}
+
+TEST(BotnetAttack, QuietOutsideAttackWindow) {
+  BotnetAttackOptions opts;
+  opts.attack_fraction = 1.0;
+  opts.attack_start_us = 1;  // stream clock starts after 0
+  opts.attack_end_us = 2;    // ...and immediately leaves the window
+  auto gen = BotnetAttackStream(
+      std::make_unique<DistinctStream>(DistinctStreamOptions{}), opts);
+  for (int i = 0; i < 1000; ++i) {
+    gen.next();
+    if (i > 10) {
+      EXPECT_FALSE(gen.last_was_attack());
+    }
+  }
+}
+
+TEST(RevisitStream, RevisitsAreOlderThanMinGap) {
+  RevisitStreamOptions opts;
+  opts.revisit_probability = 0.3;
+  opts.min_gap_us = 500'000;
+  opts.mean_interarrival_us = 1000.0;
+  RevisitStream gen(opts);
+  std::unordered_map<std::uint64_t, std::uint64_t> last_seen;
+  int revisits = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const Click c = gen.next();
+    const std::uint64_t id =
+        click_identifier(c, IdentifierPolicy::kIpCookieAndAd);
+    if (gen.last_was_revisit()) {
+      ++revisits;
+      auto it = last_seen.find(id);
+      ASSERT_NE(it, last_seen.end()) << "revisit of an unseen user";
+      EXPECT_GE(c.time_us - it->second, opts.min_gap_us);
+    }
+    last_seen[id] = c.time_us;
+  }
+  EXPECT_GT(revisits, 1000);
+}
+
+// ------------------------------------------------------------ identifiers
+
+TEST(ClickIdentifier, PolicySelectsAttributes) {
+  Click a;
+  a.source_ip = 100;
+  a.cookie = 200;
+  a.ad_id = 3;
+  Click b = a;
+  b.cookie = 999;  // differs only in cookie
+
+  EXPECT_EQ(click_identifier(a, IdentifierPolicy::kIpAndAd),
+            click_identifier(b, IdentifierPolicy::kIpAndAd));
+  EXPECT_NE(click_identifier(a, IdentifierPolicy::kCookieAndAd),
+            click_identifier(b, IdentifierPolicy::kCookieAndAd));
+  EXPECT_NE(click_identifier(a, IdentifierPolicy::kIpCookieAndAd),
+            click_identifier(b, IdentifierPolicy::kIpCookieAndAd));
+
+  Click c = a;
+  c.ad_id = 4;  // same user, different ad: always distinct
+  EXPECT_NE(click_identifier(a, IdentifierPolicy::kIpAndAd),
+            click_identifier(c, IdentifierPolicy::kIpAndAd));
+}
+
+TEST(FormatIp, DottedQuad) {
+  EXPECT_EQ(format_ip(0x01020304), "1.2.3.4");
+  EXPECT_EQ(format_ip(0xffffffff), "255.255.255.255");
+  EXPECT_EQ(format_ip(0), "0.0.0.0");
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, RoundTripsClicks) {
+  const std::string path = ::testing::TempDir() + "/ppc_trace_test.bin";
+  std::vector<Click> clicks;
+  MixedTrafficStream gen{MixedTrafficOptions{}};
+  for (int i = 0; i < 500; ++i) clicks.push_back(gen.next());
+
+  {
+    TraceWriter writer(path);
+    for (const Click& c : clicks) writer.append(c);
+    writer.close();
+    EXPECT_EQ(writer.written(), clicks.size());
+  }
+  {
+    TraceReader reader(path);
+    EXPECT_EQ(reader.size(), clicks.size());
+    for (const Click& expected : clicks) {
+      const auto got = reader.next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, expected);
+    }
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, RejectsGarbageFiles) {
+  const std::string path = ::testing::TempDir() + "/ppc_trace_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace at all";
+  }
+  EXPECT_THROW(TraceReader reader(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, AppendAfterCloseThrows) {
+  const std::string path = ::testing::TempDir() + "/ppc_trace_closed.bin";
+  TraceWriter writer(path);
+  writer.close();
+  EXPECT_THROW(writer.append(Click{}), std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CsvExportWritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/ppc_trace_test.csv";
+  std::vector<Click> clicks(3);
+  clicks[1].source_ip = 0x01020304;
+  export_csv(path, clicks);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("sequence"), std::string::npos);
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppc::stream
