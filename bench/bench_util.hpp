@@ -1,13 +1,19 @@
 // Shared helpers for the figure-reproduction binaries: a tiny CLI parser
-// (--paper / --scale=<log2 shift> / key=value overrides) and aligned table
-// printing, so every bench emits the same style of series the paper plots.
+// (--paper / --scale=<log2 shift> / --json=<path> / --threads=<n>), aligned
+// table printing, and a machine-readable JSON series writer, so every bench
+// emits the same style of series the paper plots — and a BENCH_*.json
+// trajectory future PRs can diff against.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <cmath>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ppc::benchutil {
@@ -20,29 +26,67 @@ struct Args {
   /// log2 of the down-scaling factor applied to N and m (default 16 means
   /// N = 2^20 becomes 2^(20-4)=2^16 when scale_shift=4).
   int scale_shift = 4;
+  /// When non-empty, the bench also writes its series as JSON here.
+  std::string json;
+  /// Thread budget for parallel benches (0 = the bench's own default).
+  int threads = 0;
 
-  static Args parse(int argc, char** argv) {
+  static void print_usage(const char* argv0) {
+    std::printf(
+        "usage: %s [--paper] [--scale=<shift>] [--json=<path>] "
+        "[--threads=<n>]\n"
+        "  --paper         run at the paper's exact sizes (N=2^20)\n"
+        "  --scale=<s>     divide N and m by 2^s for quick runs "
+        "(default 4)\n"
+        "  --json=<path>   also write the series as machine-readable JSON\n"
+        "  --threads=<n>   thread budget for parallel benches\n",
+        argv0);
+  }
+
+  /// Extracts the arguments this library understands and compacts argv so
+  /// the remainder can go to another parser (google-benchmark keeps flags
+  /// like --benchmark_filter). Does not reject anything.
+  static Args parse_known(int& argc, char** argv) {
     Args args;
+    int kept = 1;
     for (int i = 1; i < argc; ++i) {
-      const char* a = argv[i];
+      char* a = argv[i];
       if (std::strcmp(a, "--paper") == 0) {
         args.paper = true;
       } else if (std::strncmp(a, "--scale=", 8) == 0) {
         args.scale_shift = std::atoi(a + 8);
+        if (args.scale_shift < 0 || args.scale_shift > 40) {
+          // A shift ≥ 64 is UB (on x86 it silently wraps to *no* scaling);
+          // anything past 40 zeroes every realistic paper size anyway.
+          std::fprintf(stderr,
+                       "--scale=%d out of range [0, 40] (log2 shift)\n",
+                       args.scale_shift);
+          std::exit(2);
+        }
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        args.json = a + 7;
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        args.threads = std::atoi(a + 10);
       } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-        std::printf(
-            "usage: %s [--paper] [--scale=<shift>]\n"
-            "  --paper         run at the paper's exact sizes (N=2^20)\n"
-            "  --scale=<s>     divide N and m by 2^s for quick runs "
-            "(default 4)\n",
-            argv[0]);
+        print_usage(argv[0]);
         std::exit(0);
       } else {
-        std::fprintf(stderr, "unknown argument: %s (try --help)\n", a);
-        std::exit(2);
+        argv[kept++] = a;
+        continue;
       }
     }
+    argc = kept;
     if (args.paper) args.scale_shift = 0;
+    return args;
+  }
+
+  /// Strict variant for the plain figure binaries: unknown args are fatal.
+  static Args parse(int argc, char** argv) {
+    Args args = parse_known(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
     return args;
   }
 
@@ -80,5 +124,116 @@ inline void print_row(const std::vector<double>& vals, int width = 14) {
   for (double v : vals) print_cell(v, width);
   std::fputc('\n', stdout);
 }
+
+/// Machine-readable output for the perf trajectory: every bench that takes
+/// --json=<path> appends rows here and the destructor (or write()) emits
+///
+///   { "bench": "<name>",
+///     "rows": [ {"series": "...", "<field>": <number>, ...}, ... ] }
+///
+/// Numbers are finite doubles (NaN/Inf become null); integral values print
+/// without a decimal point so downstream tooling can diff runs textually.
+class JsonSeriesWriter {
+ public:
+  /// A writer with an empty path is disabled: add() is a no-op, nothing is
+  /// written. Benches can therefore call it unconditionally.
+  JsonSeriesWriter(std::string bench_name, std::string path)
+      : bench_(std::move(bench_name)), path_(std::move(path)) {}
+
+  JsonSeriesWriter(const JsonSeriesWriter&) = delete;
+  JsonSeriesWriter& operator=(const JsonSeriesWriter&) = delete;
+
+  ~JsonSeriesWriter() {
+    try {
+      write();
+    } catch (...) {  // a destructor must not throw; the error was reported
+    }
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Appends one row: a series label plus numeric fields, in call order.
+  void add(const std::string& series,
+           std::initializer_list<std::pair<const char*, double>> fields) {
+    if (!enabled()) return;
+    Row row;
+    row.series = series;
+    row.fields.assign(fields.begin(), fields.end());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Same, for field lists built at runtime (e.g. gbench counters).
+  void add(const std::string& series,
+           std::vector<std::pair<std::string, double>> fields) {
+    if (!enabled()) return;
+    Row row;
+    row.series = series;
+    for (auto& [k, v] : fields) row.fields.emplace_back(std::move(k), v);
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the file (idempotent; also run by the destructor).
+  /// @throws std::runtime_error if the file cannot be written.
+  void write() {
+    if (!enabled() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("JsonSeriesWriter: cannot open " + path_);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                 escaped(bench_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"series\": \"%s\"", i == 0 ? "" : ",",
+                   escaped(rows_[i].series).c_str());
+      for (const auto& [key, value] : rows_[i].fields) {
+        std::fprintf(f, ", \"%s\": %s", escaped(key).c_str(),
+                     number(value).c_str());
+      }
+      std::fputc('}', f);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (!ok) throw std::runtime_error("JsonSeriesWriter: write failed");
+    written_ = true;
+    std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // control chars never appear in series names; flatten
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 &&
+        v > -1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.10g", v);
+    }
+    return buf;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace ppc::benchutil

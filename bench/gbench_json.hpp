@@ -1,0 +1,62 @@
+// Bridges the google-benchmark binaries into the repo's BENCH_*.json
+// trajectory: gbench_main_with_json() is a drop-in replacement for
+// BENCHMARK_MAIN() that additionally understands benchutil's --json=<path>
+// (and tolerates --threads=<n>), capturing every run's throughput and
+// counters through a pass-through reporter while the normal console output
+// stays untouched.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace ppc::benchutil {
+
+/// ConsoleReporter that also funnels each finished run into a
+/// JsonSeriesWriter: series = the benchmark's full name, fields = ns per
+/// iteration plus every user counter (items_per_second, mem_ops/elem, ...),
+/// already rate-adjusted by the benchmark runner.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(JsonSeriesWriter* writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::vector<std::pair<std::string, double>> fields;
+      fields.emplace_back("real_ns_per_iter", run.GetAdjustedRealTime());
+      fields.emplace_back("iterations",
+                          static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        fields.emplace_back(name, counter.value);
+      }
+      writer_->add(run.benchmark_name(), std::move(fields));
+    }
+  }
+
+ private:
+  JsonSeriesWriter* writer_;
+};
+
+/// BENCHMARK_MAIN() plus --json: strips benchutil flags, hands the rest to
+/// google-benchmark, and writes the captured series when --json was given.
+inline int gbench_main_with_json(int argc, char** argv,
+                                 const char* bench_name) {
+  const Args args = Args::parse_known(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSeriesWriter writer(bench_name, args.json);
+  JsonCapturingReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  writer.write();
+  return 0;
+}
+
+}  // namespace ppc::benchutil

@@ -12,6 +12,8 @@
 // wall-clock time.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include "baseline/exact_detectors.hpp"
 #include "baseline/metwally_jumping_detector.hpp"
 #include "baseline/naive_jumping_bloom.hpp"
@@ -119,4 +121,9 @@ BENCHMARK(BM_ExactJumpingOffer);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus --json=<path>: the Theorem 1 series lands in the
+// same machine-readable trajectory as BENCH_sharded_throughput.json.
+int main(int argc, char** argv) {
+  return ppc::benchutil::gbench_main_with_json(argc, argv,
+                                               "thm1_gbf_throughput");
+}

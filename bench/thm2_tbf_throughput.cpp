@@ -8,6 +8,8 @@
 // and the exact hash-table detector as the memory-hungry baseline.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json.hpp"
+
 #include "baseline/exact_detectors.hpp"
 #include "core/timing_bloom_filter.hpp"
 
@@ -112,4 +114,9 @@ BENCHMARK(BM_TbfOffer_JumpingLargeQ)->Arg(256)->Arg(1024)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus --json=<path>: the Theorem 2 series lands in the
+// same machine-readable trajectory as BENCH_sharded_throughput.json.
+int main(int argc, char** argv) {
+  return ppc::benchutil::gbench_main_with_json(argc, argv,
+                                               "thm2_tbf_throughput");
+}

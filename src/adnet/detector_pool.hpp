@@ -6,15 +6,29 @@
 // traffic ages out a niche ad's clicks. Per-ad detectors give each ad a
 // window over its OWN click stream — the semantics an advertiser actually
 // buys — at the cost of one filter per active ad, which this pool meters.
+//
+// Thread safety: the POOL (the ad → detector map and the memory meter) is
+// guarded by an internal shared mutex, so lookups, creations and evictions
+// may run from any thread — including a runtime::ThreadPool's workers
+// driving offer_batch. The per-ad DETECTORS are not individually locked:
+// two threads offering clicks for the SAME ad concurrently is a data race.
+// offer_batch upholds that contract structurally (each ad's group is one
+// task); callers mixing concurrent offer() calls must either partition ads
+// across threads or install thread-safe detectors via the factory (e.g.
+// core::ShardedDetector).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "core/duplicate_detector.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ppc::adnet {
 
@@ -43,9 +57,81 @@ class DetectorPool {
     return detector_for(ad_id).offer(id, time_us);
   }
 
+  /// Batch route path: groups a micro-batch by ad id, drives each ad's
+  /// group through its detector's pipelined offer_batch in arrival order,
+  /// and writes verdicts to `out[i]` for (`ad_ids[i]`, `ids[i]`). With a
+  /// pool, ad groups fan out across its threads (one task per ad keeps the
+  /// per-ad detector single-threaded). All spans share one timestamp, like
+  /// DuplicateDetector::offer_batch.
+  /// @throws std::length_error if creating a first-seen ad's detector
+  ///         would exceed the memory cap (some verdicts are then unset).
+  void offer_batch(std::span<const std::uint32_t> ad_ids,
+                   std::span<const core::ClickId> ids, std::span<bool> out,
+                   std::uint64_t time_us = 0,
+                   runtime::ThreadPool* pool = nullptr) {
+    const std::size_t n = ids.size();
+    if (n == 0) return;
+    if (ad_ids.size() != n || out.size() < n) {
+      throw std::invalid_argument("DetectorPool::offer_batch: span mismatch");
+    }
+
+    // Group element indices by ad, preserving arrival order within an ad.
+    // A flat chain layout (first/next index per element) avoids per-ad
+    // vector churn on every batch.
+    std::unordered_map<std::uint32_t, std::uint32_t> group_of;  // ad → group
+    std::vector<std::uint32_t> head, tail;  // per group: chain ends
+    std::vector<std::uint32_t> next(n, kNone);
+    std::vector<std::uint32_t> group_ad;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [it, fresh] = group_of.try_emplace(
+          ad_ids[i], static_cast<std::uint32_t>(group_ad.size()));
+      if (fresh) {
+        group_ad.push_back(ad_ids[i]);
+        head.push_back(static_cast<std::uint32_t>(i));
+        tail.push_back(static_cast<std::uint32_t>(i));
+      } else {
+        next[tail[it->second]] = static_cast<std::uint32_t>(i);
+        tail[it->second] = static_cast<std::uint32_t>(i);
+      }
+    }
+
+    auto drain_group = [&](std::size_t g) {
+      // Per-task gather buffers; thread_local so pool workers reuse them.
+      static thread_local std::vector<core::ClickId> batch_ids;
+      static thread_local std::vector<std::uint32_t> batch_origin;
+      static thread_local std::vector<char> batch_verdicts;
+      batch_ids.clear();
+      batch_origin.clear();
+      for (std::uint32_t i = head[g]; i != kNone; i = next[i]) {
+        batch_ids.push_back(ids[i]);
+        batch_origin.push_back(i);
+      }
+      batch_verdicts.resize(batch_ids.size());
+      detector_for(group_ad[g]).offer_batch(
+          std::span<const core::ClickId>(batch_ids),
+          std::span<bool>(reinterpret_cast<bool*>(batch_verdicts.data()),
+                          batch_verdicts.size()),
+          time_us);
+      for (std::size_t j = 0; j < batch_origin.size(); ++j) {
+        out[batch_origin[j]] = batch_verdicts[j] != 0;
+      }
+    };
+    if (pool != nullptr && group_ad.size() > 1) {
+      pool->parallel_for_each(group_ad.size(), drain_group);
+    } else {
+      for (std::size_t g = 0; g < group_ad.size(); ++g) drain_group(g);
+    }
+  }
+
   /// The detector for `ad_id`, creating it if needed.
   core::DuplicateDetector& detector_for(std::uint32_t ad_id) {
-    auto it = detectors_.find(ad_id);
+    {
+      const std::shared_lock<std::shared_mutex> read(mutex_);
+      const auto it = detectors_.find(ad_id);
+      if (it != detectors_.end()) return *it->second;
+    }
+    const std::unique_lock<std::shared_mutex> write(mutex_);
+    auto it = detectors_.find(ad_id);  // re-check: lost the upgrade race?
     if (it == detectors_.end()) {
       auto detector = factory_(ad_id);
       if (detector == nullptr) {
@@ -61,26 +147,38 @@ class DetectorPool {
   }
 
   bool contains(std::uint32_t ad_id) const {
+    const std::shared_lock<std::shared_mutex> read(mutex_);
     return detectors_.contains(ad_id);
   }
 
   /// Drops an ad's detector (campaign ended), releasing its budget share.
+  /// Must not race offers for the same ad (the detector dies here).
   void evict(std::uint32_t ad_id) {
+    const std::unique_lock<std::shared_mutex> write(mutex_);
     auto it = detectors_.find(ad_id);
     if (it == detectors_.end()) return;
     memory_bits_ -= it->second->memory_bits();
     detectors_.erase(it);
   }
 
-  std::size_t size() const noexcept { return detectors_.size(); }
-  std::size_t memory_bits() const noexcept { return memory_bits_; }
+  std::size_t size() const {
+    const std::shared_lock<std::shared_mutex> read(mutex_);
+    return detectors_.size();
+  }
+  std::size_t memory_bits() const {
+    const std::shared_lock<std::shared_mutex> read(mutex_);
+    return memory_bits_;
+  }
   std::size_t memory_cap_bits() const noexcept {
     return opts_.memory_cap_bits;
   }
 
  private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
   Factory factory_;
   Options opts_;
+  mutable std::shared_mutex mutex_;  ///< guards the map + memory meter
   std::unordered_map<std::uint32_t, std::unique_ptr<core::DuplicateDetector>>
       detectors_;
   std::size_t memory_bits_ = 0;

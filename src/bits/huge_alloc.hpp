@@ -1,0 +1,65 @@
+// Huge-page-friendly allocator for large flat filter arrays.
+//
+// A DRAM-resident Bloom matrix is probed at k uniformly random rows per
+// element, so on 4 KiB pages nearly every probe is also a dTLB miss — and
+// x86 drops software prefetches whose translation misses, which defeats
+// the batched ingestion pipeline exactly where it matters most. Backing
+// the array with 2 MiB pages shrinks a ~100 MiB filter to a few dozen TLB
+// entries.
+//
+// The allocator rounds big allocations up to a 2 MiB-aligned multiple and
+// advises MADV_HUGEPAGE *before* the container's first touch, so with THP
+// in `madvise` (or `always`) mode the pages fault in huge. Allocations
+// under one huge page fall through to plain malloc — tests build thousands
+// of tiny matrices and must not pay 2 MiB each. Everything funnels through
+// free(), which accepts both malloc and aligned_alloc pointers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace ppc::bits {
+
+inline void* huge_friendly_alloc(std::size_t bytes) {
+  constexpr std::size_t kHugePage = std::size_t{2} << 20;
+  if (bytes >= kHugePage) {
+    const std::size_t rounded = (bytes + kHugePage - 1) & ~(kHugePage - 1);
+    if (void* p = std::aligned_alloc(kHugePage, rounded)) {
+#if defined(__linux__)
+      // Best-effort: a kernel without THP just ignores the advice.
+      (void)madvise(p, rounded, MADV_HUGEPAGE);
+#endif
+      return p;
+    }
+    return nullptr;  // fall through is NOT safe: caller expects bytes
+  }
+  return std::malloc(bytes);
+}
+
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  HugePageAllocator() noexcept = default;
+  template <typename U>
+  HugePageAllocator(const HugePageAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    void* p = huge_friendly_alloc(n * sizeof(T));
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const HugePageAllocator&,
+                         const HugePageAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace ppc::bits

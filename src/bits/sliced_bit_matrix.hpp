@@ -19,6 +19,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "bits/huge_alloc.hpp"
+
 namespace ppc::bits {
 
 class SlicedBitMatrix {
@@ -105,6 +107,24 @@ class SlicedBitMatrix {
     __builtin_prefetch(&words_[row * lanes_], /*rw=*/0, /*locality=*/1);
   }
 
+  /// Same, with write intent: a fresh element's probe rows are also its
+  /// insert rows, so fetching the line exclusive up front saves the
+  /// read-for-ownership stall at set() time.
+  void prefetch_row_write(std::size_t row) const noexcept {
+    __builtin_prefetch(&words_[row * lanes_], /*rw=*/1, /*locality=*/1);
+  }
+
+  /// Word pointers for the batched hot path: single-lane filters probe and
+  /// insert through raw words to skip per-element span/branch overhead.
+  const Word* word_ptr(std::size_t row, std::size_t lane = 0) const noexcept {
+    assert(row < rows_ && lane < lanes_);
+    return &words_[row * lanes_ + lane];
+  }
+  Word* word_ptr(std::size_t row, std::size_t lane = 0) noexcept {
+    assert(row < rows_ && lane < lanes_);
+    return &words_[row * lanes_ + lane];
+  }
+
   /// Raw backing words — serialization only.
   std::span<const Word> raw_words() const noexcept { return words_; }
 
@@ -121,7 +141,9 @@ class SlicedBitMatrix {
   std::size_t rows_ = 0;
   std::size_t slots_ = 0;
   std::size_t lanes_ = 0;
-  std::vector<Word> words_;
+  // Huge-page-backed when large: random-row probes on a DRAM-resident
+  // matrix are dTLB-bound on 4 KiB pages (see huge_alloc.hpp).
+  std::vector<Word, HugePageAllocator<Word>> words_;
 };
 
 }  // namespace ppc::bits

@@ -69,7 +69,9 @@ class DuplicateDetector {
   virtual void reset() = 0;
 
   /// Routes memory-operation accounting into `ops` (nullptr disables).
-  void set_op_counter(OpCounter* ops) noexcept { ops_ = ops; }
+  /// Virtual so wrappers can redirect accounting (ShardedDetector keeps a
+  /// counter per shard instead of racing threads on one struct).
+  virtual void set_op_counter(OpCounter* ops) noexcept { ops_ = ops; }
 
  protected:
   DuplicateDetector() = default;

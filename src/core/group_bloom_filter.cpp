@@ -166,29 +166,102 @@ void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
     return;
   }
 
-  // Software pipeline: hash element i+1 and prefetch its probe words while
-  // element i is classified, hiding the random-access latency that
-  // dominates large filters.
+  // Software pipeline: hash and prefetch kPipe elements ahead of the one
+  // being classified, so a DRAM-resident filter has ~kPipe·k probe lines
+  // in flight instead of stalling on each element's k misses in turn.
+  // Write intent on the prefetch because a fresh element inserts into the
+  // very rows it probed.
+  constexpr std::size_t kPipe = 16;
   const std::size_t k = family_.k();
-  std::uint64_t rows_a[hashing::kMaxHashFunctions];
-  std::uint64_t rows_b[hashing::kMaxHashFunctions];
-  std::uint64_t* cur = rows_a;
-  std::uint64_t* nxt = rows_b;
-  family_.indices(ids[0], std::span<std::uint64_t>(cur, k));
-  if (ops_ != nullptr) ops_->hash_evals += 1;
+  const std::size_t n = ids.size();
+  std::uint64_t rows[kPipe][hashing::kMaxHashFunctions];
+  // Blocked probing confines all k rows to one cache line — one prefetch
+  // covers the whole probe set.
+  const std::size_t prefetches =
+      family_.strategy() == hashing::IndexStrategy::kCacheLineBlocked ? 1 : k;
 
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (i + 1 < ids.size()) {
-      family_.indices(ids[i + 1], std::span<std::uint64_t>(nxt, k));
-      if (ops_ != nullptr) ops_->hash_evals += 1;
-      for (std::size_t j = 0; j < k; ++j) {
-        matrix_.prefetch_row(static_cast<std::size_t>(nxt[j]));
+  const std::size_t lead = std::min(kPipe, n);
+  for (std::size_t j = 0; j < lead; ++j) {
+    family_.indices(ids[j], std::span<std::uint64_t>(rows[j], k));
+    for (std::size_t h = 0; h < prefetches; ++h) {
+      matrix_.prefetch_row_write(static_cast<std::size_t>(rows[j][h]));
+    }
+  }
+  if (ops_ != nullptr) ops_->hash_evals += lead;
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Bulk cleaning: every arrival until the next sub-window jump pays its
+    // incremental stride up front in one contiguous clear. The cleaning
+    // slot is masked out of every verdict, so retiring its rows early is
+    // verdict-for-verdict identical to the per-arrival schedule — it just
+    // trades n small strided loops for one streaming pass.
+    const std::size_t run = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n - i, subwindow_len_ - fill_count_));
+    clean_step(clean_stride_ * static_cast<std::uint64_t>(run));
+    if (matrix_.lanes() == 1) {
+      // Single-lane specialization (Q + 1 ≤ 64, the common geometry): the
+      // current/cleaning slots are fixed for the whole run, so the verdict
+      // is a flat k-word AND against hoisted masks — no lane loop, no
+      // per-element op-counter branches (they are folded in per run).
+      using Word = bits::SlicedBitMatrix::Word;
+      const Word cleaning_mask = ~(Word{1} << cleaning_);
+      const Word current_bit = Word{1} << current_;
+      std::size_t fresh = 0;
+      for (const std::size_t end = i + run; i < end; ++i) {
+        const std::uint64_t* r = rows[i % kPipe];
+        Word acc = ~Word{0};
+        for (std::size_t h = 0; h < k; ++h) {
+          acc &= *matrix_.word_ptr(static_cast<std::size_t>(r[h]));
+        }
+        acc &= cleaning_mask;
+        out[i] = acc != 0;
+        // Branchless insert: a duplicate ORs in 0 — physically a redundant
+        // store to a line the pipeline already owns exclusive, semantically
+        // a no-op — which beats mispredicting the fresh/duplicate branch on
+        // a mixed stream.
+        const Word insert_bit = acc == 0 ? current_bit : Word{0};
+        fresh += acc == 0 ? 1u : 0u;
+        for (std::size_t h = 0; h < k; ++h) {
+          *matrix_.word_ptr(static_cast<std::size_t>(r[h])) |= insert_bit;
+        }
+        if (i + kPipe < n) {  // element i's buffer is free again: refill
+          family_.indices(ids[i + kPipe],
+                          std::span<std::uint64_t>(rows[i % kPipe], k));
+          for (std::size_t h = 0; h < prefetches; ++h) {
+            matrix_.prefetch_row_write(
+                static_cast<std::size_t>(rows[i % kPipe][h]));
+          }
+        }
+      }
+      if (ops_ != nullptr) {  // identical totals to the generic path
+        ops_->word_reads += k * run;
+        ops_->word_writes += k * fresh;
+        const std::size_t refill_end = n > kPipe ? n - kPipe : 0;
+        const std::size_t start = i - run;
+        if (start < refill_end) {
+          ops_->hash_evals += std::min(i, refill_end) - start;
+        }
+      }
+    } else {
+      for (const std::size_t end = i + run; i < end; ++i) {
+        out[i] = probe_and_insert_rows(rows[i % kPipe], k);
+        if (i + kPipe < n) {  // element i's buffer is free again: refill
+          family_.indices(ids[i + kPipe],
+                          std::span<std::uint64_t>(rows[i % kPipe], k));
+          if (ops_ != nullptr) ops_->hash_evals += 1;
+          for (std::size_t h = 0; h < prefetches; ++h) {
+            matrix_.prefetch_row_write(
+                static_cast<std::size_t>(rows[i % kPipe][h]));
+          }
+        }
       }
     }
-    clean_step(clean_stride_);
-    out[i] = probe_and_insert_rows(cur, k);
-    finish_arrival_count_basis();
-    std::swap(cur, nxt);
+    fill_count_ += run;
+    if (fill_count_ == subwindow_len_) {
+      jump();
+      fill_count_ = 0;
+    }
   }
 }
 

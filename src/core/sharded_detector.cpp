@@ -4,7 +4,59 @@
 
 namespace ppc::core {
 
+namespace {
+
+/// Per-thread bucketization scratch, reused across batches so the steady
+/// state allocates nothing. thread_local (not a member) keeps concurrent
+/// offer_batch callers on the same detector from sharing buffers.
+struct BatchScratch {
+  std::vector<std::uint32_t> shard_index;  ///< shard_of(ids[i]) per element
+  std::vector<std::size_t> offsets;        ///< bucket start per shard (+end)
+  std::vector<std::size_t> cursor;         ///< fill cursor per shard
+  std::vector<ClickId> bucketed;           ///< ids grouped by shard
+  std::vector<std::uint32_t> origin;       ///< caller index per bucketed slot
+  std::vector<char> verdicts;              ///< bool-sized verdict scratch
+  std::vector<std::uint32_t> active;       ///< shards with non-empty buckets
+};
+
+/// Leases one scratch per nesting level (a ShardedDetector whose shards
+/// are themselves ShardedDetectors re-enters offer_batch on the same
+/// thread), so the buffers are reused across batches but never aliased.
+class ScratchLease {
+ public:
+  ScratchLease() {
+    Stack& stack = stack_for_thread();
+    if (stack.depth == stack.levels.size()) {
+      stack.levels.push_back(std::make_unique<BatchScratch>());
+    }
+    scratch_ = stack.levels[stack.depth++].get();
+  }
+  ~ScratchLease() { --stack_for_thread().depth; }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  BatchScratch& operator*() const noexcept { return *scratch_; }
+
+ private:
+  struct Stack {
+    std::vector<std::unique_ptr<BatchScratch>> levels;
+    std::size_t depth = 0;
+  };
+  static Stack& stack_for_thread() {
+    static thread_local Stack stack;
+    return stack;
+  }
+
+  BatchScratch* scratch_;
+};
+
+}  // namespace
+
 ShardedDetector::ShardedDetector(std::size_t shards, const Factory& factory)
+    : ShardedDetector(shards, factory, Options{}) {}
+
+ShardedDetector::ShardedDetector(std::size_t shards, const Factory& factory,
+                                 Options opts)
     : shards_(shards == 0 ? throw std::invalid_argument(
                                 "ShardedDetector: shards must be >= 1")
                           : shards) {
@@ -14,6 +66,12 @@ ShardedDetector::ShardedDetector(std::size_t shards, const Factory& factory)
       throw std::invalid_argument("ShardedDetector: factory returned null");
     }
   }
+  if (opts.threads == 0) {
+    throw std::invalid_argument("ShardedDetector: threads must be >= 1");
+  }
+  if (opts.threads > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(opts.threads);
+  }
 }
 
 bool ShardedDetector::do_offer(ClickId id, std::uint64_t time_us) {
@@ -22,9 +80,101 @@ bool ShardedDetector::do_offer(ClickId id, std::uint64_t time_us) {
   return shard.detector->offer(id, time_us);
 }
 
+void ShardedDetector::offer_batch(std::span<const ClickId> ids,
+                                  std::span<bool> out, std::uint64_t time_us) {
+  const std::size_t n = ids.size();
+  if (n == 0) return;
+  const std::size_t shard_count = shards_.size();
+  if (shard_count == 1) {
+    Shard& shard = shards_.front();
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.detector->offer_batch(ids, out, time_us);
+    return;
+  }
+
+  // Pass 1 — route: compute each element's shard once and histogram the
+  // bucket sizes (counting-sort layout, no per-shard vectors).
+  const ScratchLease lease;
+  BatchScratch& scratch = *lease;
+  scratch.shard_index.resize(n);
+  scratch.offsets.assign(shard_count + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = static_cast<std::uint32_t>(shard_of(ids[i]));
+    scratch.shard_index[i] = s;
+    ++scratch.offsets[s + 1];
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    scratch.offsets[s + 1] += scratch.offsets[s];
+  }
+
+  // Pass 2 — scatter ids into shard-contiguous order, remembering where
+  // each slot came from so verdicts can be returned in caller order.
+  scratch.cursor.assign(scratch.offsets.begin(),
+                        scratch.offsets.end() - 1);
+  scratch.bucketed.resize(n);
+  scratch.origin.resize(n);
+  scratch.verdicts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t p = scratch.cursor[scratch.shard_index[i]]++;
+    scratch.bucketed[p] = ids[i];
+    scratch.origin[p] = static_cast<std::uint32_t>(i);
+  }
+  scratch.active.clear();
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (scratch.offsets[s + 1] > scratch.offsets[s]) {
+      scratch.active.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+
+  // Pass 3 — drain each shard's bucket under ONE lock acquisition through
+  // the inner pipelined batch path, optionally fanned out over the pool.
+  auto drain_bucket = [&](std::size_t task) {
+    const std::uint32_t s = scratch.active[task];
+    const std::size_t begin = scratch.offsets[s];
+    const std::size_t count = scratch.offsets[s + 1] - begin;
+    Shard& shard = shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.detector->offer_batch(
+        std::span<const ClickId>(scratch.bucketed.data() + begin, count),
+        std::span<bool>(reinterpret_cast<bool*>(scratch.verdicts.data()) +
+                            begin,
+                        count),
+        time_us);
+  };
+  if (pool_ != nullptr && scratch.active.size() > 1) {
+    pool_->parallel_for_each(scratch.active.size(), drain_bucket);
+  } else {
+    for (std::size_t t = 0; t < scratch.active.size(); ++t) drain_bucket(t);
+  }
+
+  // Pass 4 — gather verdicts back to caller order.
+  for (std::size_t p = 0; p < n; ++p) {
+    out[scratch.origin[p]] = scratch.verdicts[p] != 0;
+  }
+}
+
 std::size_t ShardedDetector::memory_bits() const {
   std::size_t total = 0;
   for (const Shard& s : shards_) total += s.detector->memory_bits();
+  return total;
+}
+
+void ShardedDetector::set_op_counter(OpCounter* ops) noexcept {
+  ops_ = ops;
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.ops.reset();
+    s.detector->set_op_counter(ops != nullptr ? &s.ops : nullptr);
+  }
+}
+
+OpCounter ShardedDetector::op_totals() const {
+  OpCounter total;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    total += s.ops;
+  }
+  if (ops_ != nullptr) *ops_ = total;
   return total;
 }
 
@@ -32,6 +182,7 @@ void ShardedDetector::reset() {
   for (Shard& s : shards_) {
     const std::lock_guard<std::mutex> lock(s.mutex);
     s.detector->reset();
+    s.ops.reset();
   }
 }
 

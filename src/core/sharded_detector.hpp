@@ -6,6 +6,17 @@
 // clicks always land on the same shard, the zero-false-negative guarantee
 // is preserved.
 //
+// Two ingestion paths:
+//  * offer(): one mutex acquisition per click — the right call for
+//    low-latency trickle traffic.
+//  * offer_batch(): the hot path. A micro-batch is bucketized by shard in
+//    one pass, each shard's bucket runs under a SINGLE lock acquisition
+//    through the inner detector's pipelined offer_batch (hash pipelining +
+//    prefetch), and verdicts are scattered back to caller order. With
+//    Options::threads > 1 the per-shard buckets fan out across an internal
+//    ThreadPool. Within a shard, arrival order is preserved, so verdicts
+//    are bit-identical to a sequential replay of the same batches.
+//
 // Window semantics under sharding:
 //  * time-based windows: EXACT — expiry depends only on timestamps, which
 //    sharding does not perturb.
@@ -15,6 +26,11 @@
 //    N/S ≫ 1 it is a few percent of the window length. Callers that need
 //    exact count semantics should shard by ad or publisher instead (one
 //    stream per detector) or use a time-based window.
+//
+// Op accounting under concurrency: set_op_counter() installs a PRIVATE
+// counter in every shard (a shared struct would be a data race); the
+// caller's counter is only written when op_totals() folds the per-shard
+// counters together, so read it after the offering threads quiesce.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +41,7 @@
 
 #include "core/duplicate_detector.hpp"
 #include "hashing/hash_common.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ppc::core {
 
@@ -33,13 +50,23 @@ class ShardedDetector final : public DuplicateDetector {
   using Factory =
       std::function<std::unique_ptr<DuplicateDetector>(std::size_t shard)>;
 
+  struct Options {
+    /// Total threads driving offer_batch fan-out (1 = process the shard
+    /// buckets sequentially on the calling thread; t > 1 spawns an
+    /// internal pool of t-1 workers that the caller joins per batch).
+    std::size_t threads = 1;
+  };
+
   /// @param shards   number of independent shards (≥ 1).
   /// @param factory  builds the detector for each shard; for count-based
   ///                 windows the factory should size each shard's window
   ///                 at N/shards.
   ShardedDetector(std::size_t shards, const Factory& factory);
+  ShardedDetector(std::size_t shards, const Factory& factory, Options opts);
 
   bool do_offer(ClickId id, std::uint64_t time_us) override;
+  void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
+                   std::uint64_t time_us = 0) override;
   WindowSpec window() const override { return shards_.front().detector->window(); }
   std::size_t memory_bits() const override;
   bool zero_false_negatives() const override {
@@ -51,7 +78,18 @@ class ShardedDetector final : public DuplicateDetector {
   }
   void reset() override;
 
+  /// Installs a per-shard counter in every inner detector; `ops` itself is
+  /// only updated by op_totals() (see header comment).
+  void set_op_counter(OpCounter* ops) noexcept override;
+  /// Folds the per-shard counters (under each shard's lock) into one
+  /// total, copies it into the counter from set_op_counter if any, and
+  /// returns it.
+  OpCounter op_totals() const;
+
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t thread_count() const noexcept {
+    return pool_ ? pool_->thread_count() : 1;
+  }
   /// Which shard an identifier routes to (stable across calls).
   std::size_t shard_of(ClickId id) const noexcept {
     return static_cast<std::size_t>(
@@ -61,14 +99,17 @@ class ShardedDetector final : public DuplicateDetector {
   }
 
  private:
-  struct Shard {
+  // One cache line per shard: the mutex and the detector pointer of
+  // neighbouring shards must not false-share when different threads drive
+  // different shards.
+  struct alignas(64) Shard {
     std::unique_ptr<DuplicateDetector> detector;
-    // Own cache line per mutex would be ideal; a plain mutex per shard is
-    // already contention-free for distinct shards.
-    std::mutex mutex;
+    mutable std::mutex mutex;
+    OpCounter ops;  ///< private accounting sink (see set_op_counter)
   };
 
   std::vector<Shard> shards_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null when threads == 1
 };
 
 }  // namespace ppc::core

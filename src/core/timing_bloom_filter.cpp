@@ -208,27 +208,35 @@ void TimingBloomFilter::offer_batch(std::span<const ClickId> ids,
     return;
   }
 
-  // Software pipeline: hash element i+1 and prefetch its timestamp entries
-  // while element i is classified (see GroupBloomFilter::offer_batch).
+  // Software pipeline: hash and prefetch kPipe elements ahead of the one
+  // being classified (same ring as GroupBloomFilter::offer_batch), so the
+  // table has ~kPipe·k timestamp entries in flight instead of one
+  // element's worth.
+  constexpr std::size_t kPipe = 16;
   const std::size_t k = family_.k();
-  std::uint64_t idx_a[hashing::kMaxHashFunctions];
-  std::uint64_t idx_b[hashing::kMaxHashFunctions];
-  std::uint64_t* cur = idx_a;
-  std::uint64_t* nxt = idx_b;
-  family_.indices(ids[0], std::span<std::uint64_t>(cur, k));
-  if (ops_ != nullptr) ops_->hash_evals += 1;
+  const std::size_t n = ids.size();
+  std::uint64_t rows[kPipe][hashing::kMaxHashFunctions];
 
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (i + 1 < ids.size()) {
-      family_.indices(ids[i + 1], std::span<std::uint64_t>(nxt, k));
+  const std::size_t lead = std::min(kPipe, n);
+  for (std::size_t j = 0; j < lead; ++j) {
+    family_.indices(ids[j], std::span<std::uint64_t>(rows[j], k));
+    for (std::size_t h = 0; h < k; ++h) {
+      table_.prefetch(static_cast<std::size_t>(rows[j][h]));
+    }
+  }
+  if (ops_ != nullptr) ops_->hash_evals += lead;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    begin_arrival_count_basis();
+    out[i] = probe_and_insert_idx(rows[i % kPipe], k);
+    if (i + kPipe < n) {  // element i's buffer is free again: refill
+      family_.indices(ids[i + kPipe],
+                      std::span<std::uint64_t>(rows[i % kPipe], k));
       if (ops_ != nullptr) ops_->hash_evals += 1;
-      for (std::size_t j = 0; j < k; ++j) {
-        table_.prefetch(static_cast<std::size_t>(nxt[j]));
+      for (std::size_t h = 0; h < k; ++h) {
+        table_.prefetch(static_cast<std::size_t>(rows[i % kPipe][h]));
       }
     }
-    begin_arrival_count_basis();
-    out[i] = probe_and_insert_idx(cur, k);
-    std::swap(cur, nxt);
   }
 }
 

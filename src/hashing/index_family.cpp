@@ -6,17 +6,6 @@
 
 namespace ppc::hashing {
 
-namespace {
-
-/// Lemire fast range reduction: maps a uniform 64-bit value onto [0, range)
-/// without the modulo bias or latency of integer division.
-std::uint64_t fast_range(std::uint64_t x, std::uint64_t range) noexcept {
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(x) * range) >> 64);
-}
-
-}  // namespace
-
 IndexFamily::IndexFamily(std::size_t k, std::uint64_t range,
                          IndexStrategy strategy, std::uint64_t seed)
     : k_(k), range_(range), strategy_(strategy), seed_(seed) {
@@ -30,18 +19,16 @@ IndexFamily::IndexFamily(std::size_t k, std::uint64_t range,
     tab1_ = std::make_unique<TabulationHash64>(seed);
     tab2_ = std::make_unique<TabulationHash64>(fmix64(seed + 1));
   }
-}
-
-void IndexFamily::fill_double_hashing(Hash128 h,
-                                      std::span<std::uint64_t> out) const noexcept {
-  assert(out.size() >= k_);
-  // Force h2 odd: guarantees all k probes are distinct modulo any power of
-  // two range and avoids the degenerate h2 == 0 family.
-  const std::uint64_t step = h.hi | 1u;
-  std::uint64_t acc = h.lo;
-  for (std::size_t i = 0; i < k_; ++i) {
-    out[i] = fast_range(acc, range_);
-    acc += step;
+  if (strategy == IndexStrategy::kCacheLineBlocked) {
+    if (range < 8) {
+      throw std::invalid_argument(
+          "IndexFamily: cache-line-blocked probing needs range >= 8");
+    }
+    if (k > 8) {
+      throw std::invalid_argument(
+          "IndexFamily: cache-line-blocked probing supports k <= 8 (one "
+          "block holds 8 indices)");
+    }
   }
 }
 
@@ -59,6 +46,9 @@ void IndexFamily::indices(Bytes key, std::span<std::uint64_t> out) const noexcep
     case IndexStrategy::kDoubleHashing:
       fill_double_hashing(murmur3_x64_128(key, seed_), out);
       return;
+    case IndexStrategy::kCacheLineBlocked:
+      fill_blocked(murmur3_x64_128(key, seed_), out);
+      return;
     case IndexStrategy::kIndependentHashes:
       fill_independent(key, out);
       return;
@@ -73,25 +63,9 @@ void IndexFamily::indices(Bytes key, std::span<std::uint64_t> out) const noexcep
   }
 }
 
-void IndexFamily::indices(std::uint64_t key,
-                          std::span<std::uint64_t> out) const noexcept {
-  switch (strategy_) {
-    case IndexStrategy::kDoubleHashing: {
-      // One fmix chain per half is cheaper than a full Murmur pass over the
-      // 8-byte buffer and keeps identical statistical behaviour.
-      const std::uint64_t h1 = fmix64(key ^ seed_);
-      const std::uint64_t h2 = fmix64(h1 ^ 0xc4ceb9fe1a85ec53ULL);
-      fill_double_hashing(Hash128{h1, h2}, out);
-      return;
-    }
-    case IndexStrategy::kIndependentHashes:
-      fill_independent(as_bytes(key), out);
-      return;
-    case IndexStrategy::kTabulation:
-      fill_double_hashing(Hash128{(*tab1_)(key ^ seed_), (*tab2_)(key ^ seed_)},
-                          out);
-      return;
-  }
+void IndexFamily::indices_independent_u64(
+    std::uint64_t key, std::span<std::uint64_t> out) const noexcept {
+  fill_independent(as_bytes(key), out);
 }
 
 std::vector<std::uint64_t> IndexFamily::indices(Bytes key) const {

@@ -189,7 +189,47 @@ TEST_P(IndexFamilyStrategyTest, DifferentSeedsDecorrelate) {
 INSTANTIATE_TEST_SUITE_P(AllStrategies, IndexFamilyStrategyTest,
                          ::testing::Values(IndexStrategy::kDoubleHashing,
                                            IndexStrategy::kIndependentHashes,
-                                           IndexStrategy::kTabulation));
+                                           IndexStrategy::kTabulation,
+                                           IndexStrategy::kCacheLineBlocked));
+
+// ------------------------------------------- cache-line-blocked probing
+
+TEST(CacheLineBlocked, RejectsUnsupportedGeometry) {
+  EXPECT_THROW(IndexFamily(4, 7, IndexStrategy::kCacheLineBlocked),
+               std::invalid_argument);  // range < one block
+  EXPECT_THROW(IndexFamily(9, 1024, IndexStrategy::kCacheLineBlocked),
+               std::invalid_argument);  // k > block capacity
+}
+
+TEST(CacheLineBlocked, ProbesAreDistinctAndConfinedToOneAlignedBlock) {
+  constexpr std::size_t kK = 7;
+  IndexFamily family(kK, 1u << 16, IndexStrategy::kCacheLineBlocked, 3);
+  for (std::uint64_t key = 0; key < 5'000; ++key) {
+    std::uint64_t idx[kK];
+    family.indices(key, std::span<std::uint64_t>(idx, kK));
+    const std::uint64_t block = idx[0] / 8;
+    std::set<std::uint64_t> distinct;
+    for (std::uint64_t v : idx) {
+      EXPECT_EQ(v / 8, block) << "probe escaped its cache-line block";
+      distinct.insert(v);
+    }
+    EXPECT_EQ(distinct.size(), kK) << "in-block probes collided";
+  }
+}
+
+TEST(CacheLineBlocked, ByteAndU64KeysBothStayInRange) {
+  // Range deliberately NOT a multiple of 8: the last partial block must
+  // never be probed.
+  constexpr std::uint64_t kRange = 1003;
+  IndexFamily family(8, kRange, IndexStrategy::kCacheLineBlocked, 9);
+  for (std::uint64_t key = 0; key < 2'000; ++key) {
+    std::uint64_t idx[8];
+    family.indices(key, std::span<std::uint64_t>(idx, 8));
+    for (std::uint64_t v : idx) EXPECT_LT(v, kRange / 8 * 8);
+    const auto via_bytes = family.indices(as_bytes(key));
+    for (std::uint64_t v : via_bytes) EXPECT_LT(v, kRange / 8 * 8);
+  }
+}
 
 }  // namespace
 }  // namespace ppc::hashing

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the threading race gate.
+#
+#   1. regular build + full ctest suite (the ROADMAP tier-1 command);
+#   2. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
+#      tests — sharded_test, runtime_test, parallel_batch_test — so every
+#      PR touching the parallel ingestion paths gets a race check.
+#
+# Usage: tools/check.sh [--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+TSAN_ONLY=0
+[[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
+
+if [[ "$TSAN_ONLY" == 0 ]]; then
+  echo "== tier-1: build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "== race gate: TSan build of the concurrency tests =="
+cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
+  -DPPC_BUILD_BENCH=OFF -DPPC_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$JOBS" \
+  --target sharded_test runtime_test parallel_batch_test
+for t in sharded_test runtime_test parallel_batch_test; do
+  echo "-- $t (tsan)"
+  ./build-tsan/tests/"$t"
+done
+echo "check.sh: all gates passed"
