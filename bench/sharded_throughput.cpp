@@ -26,6 +26,7 @@
 #include "core/group_bloom_filter.hpp"
 #include "core/sharded_detector.hpp"
 #include "core/timing_bloom_filter.hpp"
+#include "hashing/simd_fmix.hpp"
 #include "stream/rng.hpp"
 #include "stream/zipf.hpp"
 
@@ -155,13 +156,20 @@ int main(int argc, char** argv) {
 
   benchutil::JsonSeriesWriter json("sharded_throughput", args.json);
   std::printf("sharded ingestion: %zu clicks, batch=%zu, gbf window=%llu, "
-              "tbf window=%llu (hardware threads: %zu)\n\n",
+              "tbf window=%llu (hardware threads: %zu, simd: %s, "
+              "detected: %s)\n\n",
               ids.size(), kBatch,
               static_cast<unsigned long long>(kGbfWindow),
               static_cast<unsigned long long>(kTbfWindow),
-              runtime::ThreadPool::hardware_threads());
-  std::printf("%6s %7s %6s %8s %12s %9s\n", "algo", "shards", "mode",
-              "threads", "Mclicks/s", "speedup");
+              runtime::ThreadPool::hardware_threads(),
+              hashing::simd::level_name(hashing::simd::active_level()),
+              hashing::simd::level_name(hashing::simd::detected_level()));
+  // batch-s = batch path with the SIMD kernels pinned to their scalar arm
+  // (the PR-1 hash stage); batch = default dispatch. The last column is
+  // batch over batch-s — the vectorized hash stage's contribution alone,
+  // same memory traffic on both sides.
+  std::printf("%6s %7s %8s %8s %12s %9s %9s\n", "algo", "shards", "mode",
+              "threads", "Mclicks/s", "speedup", "simdgain");
   benchutil::print_rule(6, 9);
 
   for (const Algo& algo : algos) {
@@ -180,10 +188,11 @@ int main(int argc, char** argv) {
           offer_cps = std::max(offer_cps, run_offer(d, ids));
         }
       }
-      std::printf("%6s %7zu %6s %8d %12.3f %9.2f\n", algo.name, shards,
-                  "offer", 1, offer_cps / 1e6, 1.0);
+      std::printf("%6s %7zu %8s %8d %12.3f %9.2f %9s\n", algo.name, shards,
+                  "offer", 1, offer_cps / 1e6, 1.0, "-");
       json.add(algo.name, {{"shards", static_cast<double>(shards)},
                            {"mode_batch", 0},
+                           {"simd", 0},
                            {"threads", 1},
                            {"clicks", static_cast<double>(ids.size())},
                            {"mclicks_per_s", offer_cps / 1e6},
@@ -192,21 +201,51 @@ int main(int argc, char** argv) {
       for (const std::size_t threads : thread_counts) {
         core::ShardedDetector d(shards, algo.factory(shards),
                                 {.threads = threads});
-        run_batch(d, ids);
+        run_batch(d, ids);  // warm up filters + caches once for both arms
+
+        // Two arms, INTERLEAVED rep-by-rep so the shared-host clock drift
+        // (turbo decay / CPU-credit burn over an 8-minute run) hits both
+        // equally — arm-after-arm ordering showed a phantom ±10% skew on
+        // whichever arm ran second:
+        //   scalar — hash kernels pinned to their scalar arm: exactly the
+        //            PR-1 pipeline, the reference the SIMD gain is quoted
+        //            over;
+        //   simd   — default dispatch (AVX2 cap; see simd::active_level).
+        double scalar_cps = 0;
         double batch_cps = 0;
         for (int rep = 0; rep < kReps; ++rep) {
+          hashing::simd::set_level_override(hashing::simd::Level::kScalar);
+          d.reset();
+          scalar_cps = std::max(scalar_cps, run_batch(d, ids));
+          hashing::simd::clear_level_override();
           d.reset();
           batch_cps = std::max(batch_cps, run_batch(d, ids));
         }
+
+        const double scalar_speedup = scalar_cps / offer_cps;
         const double speedup = batch_cps / offer_cps;
-        std::printf("%6s %7zu %6s %8zu %12.3f %9.2f\n", algo.name, shards,
-                    "batch", threads, batch_cps / 1e6, speedup);
+        const double simd_gain = batch_cps / scalar_cps;
+        std::printf("%6s %7zu %8s %8zu %12.3f %9.2f %9s\n", algo.name,
+                    shards, "batch-s", threads, scalar_cps / 1e6,
+                    scalar_speedup, "1.00");
+        std::printf("%6s %7zu %8s %8zu %12.3f %9.2f %9.2f\n", algo.name,
+                    shards, "batch", threads, batch_cps / 1e6, speedup,
+                    simd_gain);
         json.add(algo.name, {{"shards", static_cast<double>(shards)},
                              {"mode_batch", 1},
+                             {"simd", 0},
+                             {"threads", static_cast<double>(threads)},
+                             {"clicks", static_cast<double>(ids.size())},
+                             {"mclicks_per_s", scalar_cps / 1e6},
+                             {"speedup_vs_mutex_offer", scalar_speedup}});
+        json.add(algo.name, {{"shards", static_cast<double>(shards)},
+                             {"mode_batch", 1},
+                             {"simd", 1},
                              {"threads", static_cast<double>(threads)},
                              {"clicks", static_cast<double>(ids.size())},
                              {"mclicks_per_s", batch_cps / 1e6},
-                             {"speedup_vs_mutex_offer", speedup}});
+                             {"speedup_vs_mutex_offer", speedup},
+                             {"simd_gain_vs_scalar_batch", simd_gain}});
       }
     }
   }

@@ -69,6 +69,29 @@ class DetectorPool {
                    std::span<const core::ClickId> ids, std::span<bool> out,
                    std::uint64_t time_us = 0,
                    runtime::ThreadPool* pool = nullptr) {
+    offer_batch_impl(ad_ids, ids, nullptr, time_us, out, pool);
+  }
+
+  /// Batch route path with PER-CLICK timestamps (times.size() ≥ n): each
+  /// ad group's timestamps are gathered alongside its ids and delivered
+  /// through the detector's timed offer_batch, so time-based windows see
+  /// exactly the verdicts of a sequential replay — unlike the scalar-time
+  /// overload, which stamps the whole batch with one time_us.
+  void offer_batch(std::span<const std::uint32_t> ad_ids,
+                   std::span<const core::ClickId> ids,
+                   std::span<const std::uint64_t> times, std::span<bool> out,
+                   runtime::ThreadPool* pool = nullptr) {
+    if (times.size() < ids.size()) {
+      throw std::invalid_argument("DetectorPool::offer_batch: span mismatch");
+    }
+    offer_batch_impl(ad_ids, ids, times.data(), 0, out, pool);
+  }
+
+ private:
+  void offer_batch_impl(std::span<const std::uint32_t> ad_ids,
+                        std::span<const core::ClickId> ids,
+                        const std::uint64_t* times, std::uint64_t time_us,
+                        std::span<bool> out, runtime::ThreadPool* pool) {
     const std::size_t n = ids.size();
     if (n == 0) return;
     if (ad_ids.size() != n || out.size() < n) {
@@ -98,20 +121,29 @@ class DetectorPool {
     auto drain_group = [&](std::size_t g) {
       // Per-task gather buffers; thread_local so pool workers reuse them.
       static thread_local std::vector<core::ClickId> batch_ids;
+      static thread_local std::vector<std::uint64_t> batch_times;
       static thread_local std::vector<std::uint32_t> batch_origin;
       static thread_local std::vector<char> batch_verdicts;
       batch_ids.clear();
+      batch_times.clear();
       batch_origin.clear();
       for (std::uint32_t i = head[g]; i != kNone; i = next[i]) {
         batch_ids.push_back(ids[i]);
+        if (times != nullptr) batch_times.push_back(times[i]);
         batch_origin.push_back(i);
       }
       batch_verdicts.resize(batch_ids.size());
-      detector_for(group_ad[g]).offer_batch(
-          std::span<const core::ClickId>(batch_ids),
-          std::span<bool>(reinterpret_cast<bool*>(batch_verdicts.data()),
-                          batch_verdicts.size()),
-          time_us);
+      const std::span<bool> verdict_span(
+          reinterpret_cast<bool*>(batch_verdicts.data()),
+          batch_verdicts.size());
+      if (times != nullptr) {
+        detector_for(group_ad[g]).offer_batch(
+            std::span<const core::ClickId>(batch_ids),
+            std::span<const std::uint64_t>(batch_times), verdict_span);
+      } else {
+        detector_for(group_ad[g]).offer_batch(
+            std::span<const core::ClickId>(batch_ids), verdict_span, time_us);
+      }
       for (std::size_t j = 0; j < batch_origin.size(); ++j) {
         out[batch_origin[j]] = batch_verdicts[j] != 0;
       }
@@ -123,6 +155,7 @@ class DetectorPool {
     }
   }
 
+ public:
   /// The detector for `ad_id`, creating it if needed.
   core::DuplicateDetector& detector_for(std::uint32_t ad_id) {
     {

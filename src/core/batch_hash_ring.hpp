@@ -1,0 +1,87 @@
+// BatchHashRing: the SIMD hash stage of the batched ingestion pipeline.
+//
+// The GBF/TBF offer_batch pipelines used to derive each element's k filter
+// indices with one scalar IndexFamily call per click, kPipe elements ahead
+// of classification. This ring replaces that per-click hash stage with
+// block hashing: it holds the indices of up to kSlots in-flight elements
+// and refills one BLOCK of kBlock contiguous keys at a time through
+// IndexFamily::indices_batch — the vectorized multi-key path (4–8 fmix64
+// chains per instruction stream, see hashing/simd_fmix.hpp). Two blocks
+// are in flight: while block b is being classified, block b+1 is already
+// hashed and its filter rows prefetched, so prefetches still lead
+// classification by kBlock..2·kBlock elements (the old scalar ring's fixed
+// lead was 16; same memory-level parallelism, cheaper hashing).
+//
+// Verdict neutrality: index derivation depends only on the key, never on
+// filter state, so hashing ahead in blocks is verdict-for-verdict
+// identical to hashing per element — and indices_batch itself is
+// bit-identical to the scalar IndexFamily path (exact index parity).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "hashing/index_family.hpp"
+
+namespace ppc::core::detail {
+
+class BatchHashRing {
+ public:
+  /// Keys hashed per refill — a multiple of the widest SIMD arm (8 lanes).
+  static constexpr std::size_t kBlock = 8;
+  /// Slots in flight: one block being classified, one hashed ahead.
+  static constexpr std::size_t kSlots = 2 * kBlock;
+
+  /// @param keys the whole micro-batch; the ring hashes it block-wise.
+  BatchHashRing(const hashing::IndexFamily& family,
+                std::span<const std::uint64_t> keys) noexcept
+      : family_(family), keys_(keys), k_(family.k()) {}
+
+  /// Hashes the first two blocks (or all of a short batch). Call once
+  /// before classifying element 0. `prefetch(rows)` is invoked per hashed
+  /// key with its k contiguous indices.
+  template <typename Prefetch>
+  void prime(Prefetch&& prefetch) noexcept {
+    fill_block(0, prefetch);
+    if (keys_.size() > kBlock) fill_block(kBlock, prefetch);
+  }
+
+  /// Indices of key i (k contiguous values; valid while i is in flight).
+  const std::uint64_t* rows(std::size_t i) const noexcept {
+    return ring_ + (i % kSlots) * k_;
+  }
+
+  /// Call after classifying element i: when i closes a block, hashes the
+  /// block-after-next into the slots the closed block just freed.
+  template <typename Prefetch>
+  void advance(std::size_t i, Prefetch&& prefetch) noexcept {
+    if ((i + 1) % kBlock == 0 && i + 1 + kBlock < keys_.size()) {
+      fill_block(i + 1 + kBlock, prefetch);
+    }
+  }
+
+  /// Keys hashed so far (feeds OpCounter::hash_evals; ends at keys.size()).
+  std::size_t hashed() const noexcept { return hashed_; }
+
+ private:
+  template <typename Prefetch>
+  void fill_block(std::size_t start, Prefetch& prefetch) noexcept {
+    const std::size_t count = std::min(kBlock, keys_.size() - start);
+    std::uint64_t* dst = ring_ + (start % kSlots) * k_;
+    family_.indices_batch(keys_.subspan(start, count),
+                          std::span<std::uint64_t>(dst, count * k_));
+    hashed_ += count;
+    for (std::size_t j = 0; j < count; ++j) prefetch(dst + j * k_);
+  }
+
+  const hashing::IndexFamily& family_;
+  std::span<const std::uint64_t> keys_;
+  std::size_t k_;
+  std::size_t hashed_ = 0;
+  // Slot stride is k_ (so a block's refill is one contiguous
+  // indices_batch write); sized for the k = kMaxHashFunctions worst case.
+  std::uint64_t ring_[kSlots * hashing::kMaxHashFunctions];
+};
+
+}  // namespace ppc::core::detail

@@ -44,10 +44,29 @@ class DuplicateDetector {
   /// `out[i]` for `ids[i]` (out.size() ≥ ids.size()). Semantically
   /// identical to offering in a loop; detectors override it to pipeline
   /// hash computation and memory prefetch across elements.
+  ///
+  /// Time-based callers beware: stamping a whole micro-batch with one
+  /// time_us coarsens window expiry to batch granularity. When real
+  /// per-click timestamps exist, use the `times` overload below — it is
+  /// the one whose verdicts match a sequential replay exactly.
   virtual void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
                            std::uint64_t time_us = 0) {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       out[i] = offer(ids[i], time_us);
+    }
+  }
+
+  /// Processes a micro-batch with PER-CLICK timestamps: verdict-for-verdict
+  /// identical to `offer(ids[i], times[i])` in a loop (times.size() ≥
+  /// ids.size(), monotone non-decreasing like offer()'s contract;
+  /// count-based detectors ignore it). This is the batch entry point for
+  /// time-based windows — the scalar-time overload above collapses a whole
+  /// batch onto one timestamp, which this one does not.
+  virtual void offer_batch(std::span<const ClickId> ids,
+                           std::span<const std::uint64_t> times,
+                           std::span<bool> out) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out[i] = offer(ids[i], times[i]);
     }
   }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/batch_hash_ring.hpp"
 #include "core/snapshot_io.hpp"
 
 namespace ppc::core {
@@ -160,34 +161,49 @@ void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
                                    std::uint64_t time_us) {
   if (ids.empty()) return;
   if (window_.basis == WindowBasis::kTime) {
-    // The time-based path interleaves time advancement; pipelining across
-    // it buys little, so fall back to the loop.
-    DuplicateDetector::offer_batch(ids, out, time_us);
+    // One timestamp stamps the whole batch, so advancing time once up
+    // front is identical to advancing before every element (the repeat
+    // advances would be delta-zero no-ops) — and then the batch can take
+    // the block-hashed probe loop instead of the scalar fallback.
+    advance_time(time_us);
+    offer_batch_time(ids, nullptr, out);
     return;
   }
+  offer_batch_count(ids, out);
+}
 
-  // Software pipeline: hash and prefetch kPipe elements ahead of the one
-  // being classified, so a DRAM-resident filter has ~kPipe·k probe lines
-  // in flight instead of stalling on each element's k misses in turn.
-  // Write intent on the prefetch because a fresh element inserts into the
-  // very rows it probed.
-  constexpr std::size_t kPipe = 16;
+void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
+                                   std::span<const std::uint64_t> times,
+                                   std::span<bool> out) {
+  if (ids.empty()) return;
+  if (window_.basis == WindowBasis::kCount) {
+    offer_batch_count(ids, out);  // count basis never reads timestamps
+    return;
+  }
+  offer_batch_time(ids, times.data(), out);
+}
+
+void GroupBloomFilter::offer_batch_count(std::span<const ClickId> ids,
+                                         std::span<bool> out) {
+  // Software pipeline: the ring block-hashes ids through the vectorized
+  // IndexFamily::indices_batch path and keeps one hashed-and-prefetched
+  // block ahead of classification, so a DRAM-resident filter has a block's
+  // worth of probe lines in flight instead of stalling on each element's k
+  // misses in turn. Write intent on the prefetch because a fresh element
+  // inserts into the very rows it probed.
   const std::size_t k = family_.k();
   const std::size_t n = ids.size();
-  std::uint64_t rows[kPipe][hashing::kMaxHashFunctions];
   // Blocked probing confines all k rows to one cache line — one prefetch
   // covers the whole probe set.
   const std::size_t prefetches =
       family_.strategy() == hashing::IndexStrategy::kCacheLineBlocked ? 1 : k;
-
-  const std::size_t lead = std::min(kPipe, n);
-  for (std::size_t j = 0; j < lead; ++j) {
-    family_.indices(ids[j], std::span<std::uint64_t>(rows[j], k));
+  const auto prefetch_rows = [&](const std::uint64_t* r) {
     for (std::size_t h = 0; h < prefetches; ++h) {
-      matrix_.prefetch_row_write(static_cast<std::size_t>(rows[j][h]));
+      matrix_.prefetch_row_write(static_cast<std::size_t>(r[h]));
     }
-  }
-  if (ops_ != nullptr) ops_->hash_evals += lead;
+  };
+  detail::BatchHashRing ring(family_, ids);
+  ring.prime(prefetch_rows);
 
   std::size_t i = 0;
   while (i < n) {
@@ -209,7 +225,7 @@ void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
       const Word current_bit = Word{1} << current_;
       std::size_t fresh = 0;
       for (const std::size_t end = i + run; i < end; ++i) {
-        const std::uint64_t* r = rows[i % kPipe];
+        const std::uint64_t* r = ring.rows(i);
         Word acc = ~Word{0};
         for (std::size_t h = 0; h < k; ++h) {
           acc &= *matrix_.word_ptr(static_cast<std::size_t>(r[h]));
@@ -225,36 +241,16 @@ void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
         for (std::size_t h = 0; h < k; ++h) {
           *matrix_.word_ptr(static_cast<std::size_t>(r[h])) |= insert_bit;
         }
-        if (i + kPipe < n) {  // element i's buffer is free again: refill
-          family_.indices(ids[i + kPipe],
-                          std::span<std::uint64_t>(rows[i % kPipe], k));
-          for (std::size_t h = 0; h < prefetches; ++h) {
-            matrix_.prefetch_row_write(
-                static_cast<std::size_t>(rows[i % kPipe][h]));
-          }
-        }
+        ring.advance(i, prefetch_rows);
       }
       if (ops_ != nullptr) {  // identical totals to the generic path
         ops_->word_reads += k * run;
         ops_->word_writes += k * fresh;
-        const std::size_t refill_end = n > kPipe ? n - kPipe : 0;
-        const std::size_t start = i - run;
-        if (start < refill_end) {
-          ops_->hash_evals += std::min(i, refill_end) - start;
-        }
       }
     } else {
       for (const std::size_t end = i + run; i < end; ++i) {
-        out[i] = probe_and_insert_rows(rows[i % kPipe], k);
-        if (i + kPipe < n) {  // element i's buffer is free again: refill
-          family_.indices(ids[i + kPipe],
-                          std::span<std::uint64_t>(rows[i % kPipe], k));
-          if (ops_ != nullptr) ops_->hash_evals += 1;
-          for (std::size_t h = 0; h < prefetches; ++h) {
-            matrix_.prefetch_row_write(
-                static_cast<std::size_t>(rows[i % kPipe][h]));
-          }
-        }
+        out[i] = probe_and_insert_rows(ring.rows(i), k);
+        ring.advance(i, prefetch_rows);
       }
     }
     fill_count_ += run;
@@ -263,6 +259,33 @@ void GroupBloomFilter::offer_batch(std::span<const ClickId> ids,
       fill_count_ = 0;
     }
   }
+  if (ops_ != nullptr) ops_->hash_evals += ring.hashed();
+}
+
+void GroupBloomFilter::offer_batch_time(std::span<const ClickId> ids,
+                                        const std::uint64_t* times,
+                                        std::span<bool> out) {
+  // Time basis with the hash stage batched: index derivation depends only
+  // on the key, so hashing a block ahead commutes with the per-element
+  // advance_time interleave and verdicts match a sequential replay
+  // exactly. `times == nullptr` means the caller already advanced time
+  // for the whole batch (scalar-time overload).
+  const std::size_t k = family_.k();
+  const std::size_t prefetches =
+      family_.strategy() == hashing::IndexStrategy::kCacheLineBlocked ? 1 : k;
+  const auto prefetch_rows = [&](const std::uint64_t* r) {
+    for (std::size_t h = 0; h < prefetches; ++h) {
+      matrix_.prefetch_row_write(static_cast<std::size_t>(r[h]));
+    }
+  };
+  detail::BatchHashRing ring(family_, ids);
+  ring.prime(prefetch_rows);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (times != nullptr) advance_time(times[i]);
+    out[i] = probe_and_insert_rows(ring.rows(i), k);
+    ring.advance(i, prefetch_rows);
+  }
+  if (ops_ != nullptr) ops_->hash_evals += ring.hashed();
 }
 
 namespace {

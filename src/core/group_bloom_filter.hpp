@@ -51,6 +51,9 @@ class GroupBloomFilter final : public DuplicateDetector {
   bool do_offer(ClickId id, std::uint64_t time_us) override;
   void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
                    std::uint64_t time_us = 0) override;
+  void offer_batch(std::span<const ClickId> ids,
+                   std::span<const std::uint64_t> times,
+                   std::span<bool> out) override;
 
   WindowSpec window() const override { return window_; }
   std::size_t memory_bits() const override {
@@ -92,6 +95,9 @@ class GroupBloomFilter final : public DuplicateDetector {
   bool probe_and_insert(ClickId id);
   bool probe_and_insert_rows(const std::uint64_t* rows, std::size_t k);
   void finish_arrival_count_basis();
+  void offer_batch_count(std::span<const ClickId> ids, std::span<bool> out);
+  void offer_batch_time(std::span<const ClickId> ids,
+                        const std::uint64_t* times, std::span<bool> out);
 
   WindowSpec window_;
   std::uint64_t bits_per_subfilter_;

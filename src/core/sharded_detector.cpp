@@ -14,6 +14,7 @@ struct BatchScratch {
   std::vector<std::size_t> offsets;        ///< bucket start per shard (+end)
   std::vector<std::size_t> cursor;         ///< fill cursor per shard
   std::vector<ClickId> bucketed;           ///< ids grouped by shard
+  std::vector<std::uint64_t> bucketed_times;  ///< times, same grouping
   std::vector<std::uint32_t> origin;       ///< caller index per bucketed slot
   std::vector<char> verdicts;              ///< bool-sized verdict scratch
   std::vector<std::uint32_t> active;       ///< shards with non-empty buckets
@@ -82,13 +83,31 @@ bool ShardedDetector::do_offer(ClickId id, std::uint64_t time_us) {
 
 void ShardedDetector::offer_batch(std::span<const ClickId> ids,
                                   std::span<bool> out, std::uint64_t time_us) {
+  offer_batch_impl(ids, nullptr, time_us, out);
+}
+
+void ShardedDetector::offer_batch(std::span<const ClickId> ids,
+                                  std::span<const std::uint64_t> times,
+                                  std::span<bool> out) {
+  offer_batch_impl(ids, times.data(), 0, out);
+}
+
+void ShardedDetector::offer_batch_impl(std::span<const ClickId> ids,
+                                       const std::uint64_t* times,
+                                       std::uint64_t time_us,
+                                       std::span<bool> out) {
   const std::size_t n = ids.size();
   if (n == 0) return;
   const std::size_t shard_count = shards_.size();
   if (shard_count == 1) {
     Shard& shard = shards_.front();
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.detector->offer_batch(ids, out, time_us);
+    if (times != nullptr) {
+      shard.detector->offer_batch(
+          ids, std::span<const std::uint64_t>(times, n), out);
+    } else {
+      shard.detector->offer_batch(ids, out, time_us);
+    }
     return;
   }
 
@@ -107,16 +126,20 @@ void ShardedDetector::offer_batch(std::span<const ClickId> ids,
     scratch.offsets[s + 1] += scratch.offsets[s];
   }
 
-  // Pass 2 — scatter ids into shard-contiguous order, remembering where
-  // each slot came from so verdicts can be returned in caller order.
+  // Pass 2 — scatter ids (and per-click timestamps, when given) into
+  // shard-contiguous order, remembering where each slot came from so
+  // verdicts can be returned in caller order. Within a shard the scatter
+  // is stable, so each bucket's timestamps stay monotone like the input.
   scratch.cursor.assign(scratch.offsets.begin(),
                         scratch.offsets.end() - 1);
   scratch.bucketed.resize(n);
   scratch.origin.resize(n);
   scratch.verdicts.resize(n);
+  if (times != nullptr) scratch.bucketed_times.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t p = scratch.cursor[scratch.shard_index[i]]++;
     scratch.bucketed[p] = ids[i];
+    if (times != nullptr) scratch.bucketed_times[p] = times[i];
     scratch.origin[p] = static_cast<std::uint32_t>(i);
   }
   scratch.active.clear();
@@ -134,12 +157,19 @@ void ShardedDetector::offer_batch(std::span<const ClickId> ids,
     const std::size_t count = scratch.offsets[s + 1] - begin;
     Shard& shard = shards_[s];
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.detector->offer_batch(
-        std::span<const ClickId>(scratch.bucketed.data() + begin, count),
-        std::span<bool>(reinterpret_cast<bool*>(scratch.verdicts.data()) +
-                            begin,
-                        count),
-        time_us);
+    const std::span<const ClickId> bucket_ids(scratch.bucketed.data() + begin,
+                                              count);
+    const std::span<bool> bucket_out(
+        reinterpret_cast<bool*>(scratch.verdicts.data()) + begin, count);
+    if (times != nullptr) {
+      shard.detector->offer_batch(
+          bucket_ids,
+          std::span<const std::uint64_t>(
+              scratch.bucketed_times.data() + begin, count),
+          bucket_out);
+    } else {
+      shard.detector->offer_batch(bucket_ids, bucket_out, time_us);
+    }
   };
   if (pool_ != nullptr && scratch.active.size() > 1) {
     pool_->parallel_for_each(scratch.active.size(), drain_bucket);
@@ -151,6 +181,17 @@ void ShardedDetector::offer_batch(std::span<const ClickId> ids,
   for (std::size_t p = 0; p < n; ++p) {
     out[scratch.origin[p]] = scratch.verdicts[p] != 0;
   }
+}
+
+WindowSpec ShardedDetector::window() const {
+  WindowSpec spec = shards_.front().detector->window();
+  if (spec.basis == WindowBasis::kCount) {
+    // Each shard holds N/S arrivals, so the ensemble approximates a global
+    // window S times the shard spec. Returning the front shard's spec here
+    // (the old behaviour) understated the window by a factor of S.
+    spec.length *= shards_.size();
+  }
+  return spec;
 }
 
 std::size_t ShardedDetector::memory_bits() const {

@@ -67,7 +67,14 @@ class ShardedDetector final : public DuplicateDetector {
   bool do_offer(ClickId id, std::uint64_t time_us) override;
   void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
                    std::uint64_t time_us = 0) override;
-  WindowSpec window() const override { return shards_.front().detector->window(); }
+  void offer_batch(std::span<const ClickId> ids,
+                   std::span<const std::uint64_t> times,
+                   std::span<bool> out) override;
+  /// The AGGREGATE window the ensemble approximates, not one shard's spec:
+  /// a count-based shard window of N/S scaled back up by S shards (see the
+  /// header comment on count-basis approximation); time-based windows pass
+  /// through unchanged since every shard expires on the same clock.
+  WindowSpec window() const override;
   std::size_t memory_bits() const override;
   bool zero_false_negatives() const override {
     return shards_.front().detector->zero_false_negatives();
@@ -99,6 +106,13 @@ class ShardedDetector final : public DuplicateDetector {
   }
 
  private:
+  /// Shared bucketize/fan-out/gather engine: `times` non-null scatters a
+  /// per-click timestamp alongside every id and drains each bucket through
+  /// the inner timed offer_batch; null stamps every bucket with `time_us`.
+  void offer_batch_impl(std::span<const ClickId> ids,
+                        const std::uint64_t* times, std::uint64_t time_us,
+                        std::span<bool> out);
+
   // One cache line per shard: the mutex and the detector pointer of
   // neighbouring shards must not false-share when different threads drive
   // different shards.

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/batch_hash_ring.hpp"
 #include "core/snapshot_io.hpp"
 
 namespace ppc::core {
@@ -204,40 +205,73 @@ void TimingBloomFilter::offer_batch(std::span<const ClickId> ids,
                                     std::uint64_t time_us) {
   if (ids.empty()) return;
   if (window_.basis == WindowBasis::kTime) {
-    DuplicateDetector::offer_batch(ids, out, time_us);
+    // One timestamp stamps the whole batch, so advancing time once up
+    // front is identical to advancing before every element (the repeat
+    // advances would be delta-zero no-ops) — then the batch takes the
+    // block-hashed probe loop instead of the scalar fallback.
+    advance_time(time_us);
+    offer_batch_time(ids, nullptr, out);
     return;
   }
+  offer_batch_count(ids, out);
+}
 
-  // Software pipeline: hash and prefetch kPipe elements ahead of the one
-  // being classified (same ring as GroupBloomFilter::offer_batch), so the
-  // table has ~kPipe·k timestamp entries in flight instead of one
-  // element's worth.
-  constexpr std::size_t kPipe = 16;
+void TimingBloomFilter::offer_batch(std::span<const ClickId> ids,
+                                    std::span<const std::uint64_t> times,
+                                    std::span<bool> out) {
+  if (ids.empty()) return;
+  if (window_.basis == WindowBasis::kCount) {
+    offer_batch_count(ids, out);  // count basis never reads timestamps
+    return;
+  }
+  offer_batch_time(ids, times.data(), out);
+}
+
+void TimingBloomFilter::offer_batch_count(std::span<const ClickId> ids,
+                                          std::span<bool> out) {
+  // Software pipeline: the ring block-hashes ids through the vectorized
+  // IndexFamily::indices_batch path (same ring as GroupBloomFilter) and
+  // keeps one hashed-and-prefetched block ahead of classification, so the
+  // table has a block's worth of timestamp entries in flight instead of
+  // one element's.
   const std::size_t k = family_.k();
-  const std::size_t n = ids.size();
-  std::uint64_t rows[kPipe][hashing::kMaxHashFunctions];
-
-  const std::size_t lead = std::min(kPipe, n);
-  for (std::size_t j = 0; j < lead; ++j) {
-    family_.indices(ids[j], std::span<std::uint64_t>(rows[j], k));
+  const auto prefetch_idx = [&](const std::uint64_t* idx) {
     for (std::size_t h = 0; h < k; ++h) {
-      table_.prefetch(static_cast<std::size_t>(rows[j][h]));
+      table_.prefetch(static_cast<std::size_t>(idx[h]));
     }
-  }
-  if (ops_ != nullptr) ops_->hash_evals += lead;
-
-  for (std::size_t i = 0; i < n; ++i) {
+  };
+  detail::BatchHashRing ring(family_, ids);
+  ring.prime(prefetch_idx);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
     begin_arrival_count_basis();
-    out[i] = probe_and_insert_idx(rows[i % kPipe], k);
-    if (i + kPipe < n) {  // element i's buffer is free again: refill
-      family_.indices(ids[i + kPipe],
-                      std::span<std::uint64_t>(rows[i % kPipe], k));
-      if (ops_ != nullptr) ops_->hash_evals += 1;
-      for (std::size_t h = 0; h < k; ++h) {
-        table_.prefetch(static_cast<std::size_t>(rows[i % kPipe][h]));
-      }
-    }
+    out[i] = probe_and_insert_idx(ring.rows(i), k);
+    ring.advance(i, prefetch_idx);
   }
+  if (ops_ != nullptr) ops_->hash_evals += ring.hashed();
+}
+
+void TimingBloomFilter::offer_batch_time(std::span<const ClickId> ids,
+                                         const std::uint64_t* times,
+                                         std::span<bool> out) {
+  // Time basis with the hash stage batched: index derivation depends only
+  // on the key, so hashing a block ahead commutes with the per-element
+  // advance_time interleave and verdicts match a sequential replay
+  // exactly. `times == nullptr` means the caller already advanced time
+  // for the whole batch (scalar-time overload).
+  const std::size_t k = family_.k();
+  const auto prefetch_idx = [&](const std::uint64_t* idx) {
+    for (std::size_t h = 0; h < k; ++h) {
+      table_.prefetch(static_cast<std::size_t>(idx[h]));
+    }
+  };
+  detail::BatchHashRing ring(family_, ids);
+  ring.prime(prefetch_idx);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (times != nullptr) advance_time(times[i]);
+    out[i] = probe_and_insert_idx(ring.rows(i), k);
+    ring.advance(i, prefetch_idx);
+  }
+  if (ops_ != nullptr) ops_->hash_evals += ring.hashed();
 }
 
 namespace {

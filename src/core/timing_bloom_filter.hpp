@@ -59,6 +59,9 @@ class TimingBloomFilter final : public DuplicateDetector {
   bool do_offer(ClickId id, std::uint64_t time_us) override;
   void offer_batch(std::span<const ClickId> ids, std::span<bool> out,
                    std::uint64_t time_us = 0) override;
+  void offer_batch(std::span<const ClickId> ids,
+                   std::span<const std::uint64_t> times,
+                   std::span<bool> out) override;
 
   WindowSpec window() const override { return window_; }
   std::size_t memory_bits() const override { return table_.payload_bits(); }
@@ -103,6 +106,9 @@ class TimingBloomFilter final : public DuplicateDetector {
   void begin_arrival_count_basis();
   bool probe_and_insert(ClickId id);
   bool probe_and_insert_idx(const std::uint64_t* idx, std::size_t k);
+  void offer_batch_count(std::span<const ClickId> ids, std::span<bool> out);
+  void offer_batch_time(std::span<const ClickId> ids,
+                        const std::uint64_t* times, std::span<bool> out);
 
   WindowSpec window_;
   std::uint64_t window_ticks_;   // N, Q, or R depending on the window

@@ -52,6 +52,12 @@ class IndexFamily {
  public:
   /// @param k      number of indices per key, in [1, kMaxHashFunctions].
   /// @param range  exclusive upper bound of produced indices; must be > 0.
+  ///               kCacheLineBlocked probes whole aligned 8-index blocks,
+  ///               so a range that is not a multiple of 8 is rounded DOWN
+  ///               to one (range() reports the rounded value) — otherwise
+  ///               the trailing range%8 indices would be silently
+  ///               unreachable and the effective filter smaller than the m
+  ///               every FPR formula was fed.
   /// @param strategy index-derivation strategy (see IndexStrategy).
   /// @param seed   salts the whole family; two families with different seeds
   ///               behave as unrelated hash functions.
@@ -99,6 +105,16 @@ class IndexFamily {
 
   /// Convenience allocation-friendly variant used by tests.
   std::vector<std::uint64_t> indices(Bytes key) const;
+
+  /// Multi-key fast path for contiguous 64-bit identifiers: writes the k
+  /// indices of every key into `out`, key-major (`out[i*k + j]` is key i's
+  /// j-th index; out.size() ≥ keys.size()·k). Bit-identical to calling the
+  /// u64 `indices` overload per key — the double-hashing and blocked
+  /// strategies dispatch to the SIMD fmix64 kernels (4–8 keys per vector,
+  /// see hashing/simd_fmix.hpp), whose every arm preserves exact index
+  /// parity; the validation strategies take the scalar loop.
+  void indices_batch(std::span<const std::uint64_t> keys,
+                     std::span<std::uint64_t> out) const noexcept;
 
  private:
   /// Lemire fast range reduction: maps a uniform 64-bit value onto

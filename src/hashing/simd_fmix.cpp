@@ -1,0 +1,488 @@
+// SIMD arms of the batch index-derivation kernels. Layout of this file:
+//
+//   1. scalar reference arms — bit-for-bit the math IndexFamily's u64 fast
+//      path performs (fmix64 chain, Lemire fast_range via the high 64 bits
+//      of a 64×64 product, odd-step in-block walk);
+//   2. AVX2 arms (4 keys/vector) — 64-bit multiply emulated from
+//      vpmuludq 32×32→64 partial products, exactly (mod 2^64 for the
+//      fmix64 multiplies; full high-64 recomposition for fast_range), so
+//      lane i equals the scalar result for key i;
+//   3. AVX-512 arms (8 keys/vector) — native vpmullq (AVX-512DQ) for the
+//      fmix64 multiplies, the same partial-product recomposition for the
+//      high half, bounce-buffer transpose for the key-major index layout;
+//   4. CPUID dispatch with a clampable override for tests/benches.
+//
+// The vector arms are compiled via per-function `target` attributes, so
+// this TU needs no global -mavx2/-mavx512 flags and the binary stays
+// runnable on any x86-64 (dispatch never selects an arm the CPU lacks).
+// -DPPC_DISABLE_SIMD=ON (or a non-x86 target) compiles arms 2–3 out.
+#include "hashing/simd_fmix.hpp"
+
+#include <atomic>
+
+#include "hashing/hash_common.hpp"
+
+#if defined(__x86_64__) && !defined(PPC_DISABLE_SIMD)
+#define PPC_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define PPC_SIMD_X86 0
+#endif
+
+namespace ppc::hashing::simd {
+namespace {
+
+/// The constant IndexFamily xors into h1 before the second fmix64 chain.
+constexpr std::uint64_t kH2Mix = 0xc4ceb9fe1a85ec53ULL;
+constexpr std::uint64_t kFmixC1 = 0xff51afd7ed558ccdULL;
+constexpr std::uint64_t kFmixC2 = 0xc4ceb9fe1a85ec53ULL;
+
+std::uint64_t mul_hi64(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+// -------------------------------------------------------------- scalar
+
+void fmix64_pairs_scalar(const std::uint64_t* keys, std::size_t n,
+                         std::uint64_t seed, std::uint64_t* h1,
+                         std::uint64_t* h2) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = fmix64(keys[i] ^ seed);
+    h1[i] = a;
+    h2[i] = fmix64(a ^ kH2Mix);
+  }
+}
+
+void derive_double_hashing_scalar(const std::uint64_t* keys, std::size_t n,
+                                  std::uint64_t seed, std::size_t k,
+                                  std::uint64_t range,
+                                  std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h1 = fmix64(keys[i] ^ seed);
+    const std::uint64_t step = fmix64(h1 ^ kH2Mix) | 1u;
+    std::uint64_t acc = h1;
+    std::uint64_t* row = out + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      row[j] = mul_hi64(acc, range);
+      acc += step;
+    }
+  }
+}
+
+void derive_blocked_scalar(const std::uint64_t* keys, std::size_t n,
+                           std::uint64_t seed, std::size_t k,
+                           std::uint64_t range, std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h1 = fmix64(keys[i] ^ seed);
+    const std::uint64_t h2 = fmix64(h1 ^ kH2Mix);
+    const std::uint64_t base = mul_hi64(h1, range / 8) * 8;
+    std::uint64_t off = h2 & 7;
+    const std::uint64_t step = h2 >> 3 | 1;
+    std::uint64_t* row = out + i * k;
+    for (std::size_t j = 0; j < k; ++j) {
+      row[j] = base + off;
+      off = (off + step) & 7;
+    }
+  }
+}
+
+#if PPC_SIMD_X86
+
+// ---------------------------------------------------------------- AVX2
+
+#define PPC_TARGET_AVX2 __attribute__((target("avx2")))
+
+/// a·b mod 2^64 per lane from three 32×32→64 partial products
+/// (AVX2 has no 64-bit multiply): lo + ((aH·bL + aL·bH) << 32).
+PPC_TARGET_AVX2 inline __m256i mullo64_avx2(__m256i a, __m256i b) noexcept {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(ah, b), _mm256_mul_epu32(a, bh));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// high64(a·b) per lane, exact: all four partial products with carry
+/// recomposition (t collects the carries out of bit 63 of the low half).
+PPC_TARGET_AVX2 inline __m256i mulhi64_avx2(__m256i a, __m256i b) noexcept {
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i bh = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, bh);
+  const __m256i hl = _mm256_mul_epu32(ah, b);
+  const __m256i hh = _mm256_mul_epu32(ah, bh);
+  __m256i t = _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                               _mm256_and_si256(lh, m32));
+  t = _mm256_add_epi64(t, _mm256_and_si256(hl, m32));
+  __m256i high = _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32));
+  high = _mm256_add_epi64(high, _mm256_srli_epi64(hl, 32));
+  return _mm256_add_epi64(high, _mm256_srli_epi64(t, 32));
+}
+
+/// high64(a·b) when every b lane is < 2^32 (any realistic filter range):
+/// the aH·bH and aL·bH partials vanish, so (aH·b + ((aL·b) >> 32)) >> 32
+/// is exact — the sum cannot overflow 64 bits since aH·b ≤ (2^32-1)^2.
+PPC_TARGET_AVX2 inline __m256i mulhi64_b32_avx2(__m256i a,
+                                               __m256i b32) noexcept {
+  const __m256i ah = _mm256_srli_epi64(a, 32);
+  const __m256i lo = _mm256_srli_epi64(_mm256_mul_epu32(a, b32), 32);
+  return _mm256_srli_epi64(
+      _mm256_add_epi64(_mm256_mul_epu32(ah, b32), lo), 32);
+}
+
+PPC_TARGET_AVX2 inline __m256i fmix64_avx2(__m256i x) noexcept {
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo64_avx2(x, _mm256_set1_epi64x(static_cast<long long>(kFmixC1)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo64_avx2(x, _mm256_set1_epi64x(static_cast<long long>(kFmixC2)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+PPC_TARGET_AVX2 void fmix64_pairs_avx2(const std::uint64_t* keys,
+                                       std::size_t n, std::uint64_t seed,
+                                       std::uint64_t* h1,
+                                       std::uint64_t* h2) noexcept {
+  const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i vmix = _mm256_set1_epi64x(static_cast<long long>(kH2Mix));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i a = fmix64_avx2(_mm256_xor_si256(key, vseed));
+    const __m256i b = fmix64_avx2(_mm256_xor_si256(a, vmix));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h1 + i), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h2 + i), b);
+  }
+  if (i < n) fmix64_pairs_scalar(keys + i, n - i, seed, h1 + i, h2 + i);
+}
+
+PPC_TARGET_AVX2 void derive_double_hashing_avx2(
+    const std::uint64_t* keys, std::size_t n, std::uint64_t seed,
+    std::size_t k, std::uint64_t range, std::uint64_t* out) noexcept {
+  const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i vmix = _mm256_set1_epi64x(static_cast<long long>(kH2Mix));
+  const __m256i vrange = _mm256_set1_epi64x(static_cast<long long>(range));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    __m256i acc = fmix64_avx2(_mm256_xor_si256(key, vseed));
+    const __m256i step =
+        _mm256_or_si256(fmix64_avx2(_mm256_xor_si256(acc, vmix)), vone);
+    std::uint64_t* row = out + i * k;
+    alignas(32) std::uint64_t lane[4];
+    if (range >> 32) {
+      for (std::size_t j = 0; j < k; ++j) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lane),
+                           mulhi64_avx2(acc, vrange));
+        row[0 * k + j] = lane[0];
+        row[1 * k + j] = lane[1];
+        row[2 * k + j] = lane[2];
+        row[3 * k + j] = lane[3];
+        acc = _mm256_add_epi64(acc, step);
+      }
+    } else {  // range < 2^32: two partial products instead of four
+      for (std::size_t j = 0; j < k; ++j) {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(lane),
+                           mulhi64_b32_avx2(acc, vrange));
+        row[0 * k + j] = lane[0];
+        row[1 * k + j] = lane[1];
+        row[2 * k + j] = lane[2];
+        row[3 * k + j] = lane[3];
+        acc = _mm256_add_epi64(acc, step);
+      }
+    }
+  }
+  if (i < n) {
+    derive_double_hashing_scalar(keys + i, n - i, seed, k, range,
+                                 out + i * k);
+  }
+}
+
+PPC_TARGET_AVX2 void derive_blocked_avx2(const std::uint64_t* keys,
+                                         std::size_t n, std::uint64_t seed,
+                                         std::size_t k, std::uint64_t range,
+                                         std::uint64_t* out) noexcept {
+  const __m256i vseed = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i vmix = _mm256_set1_epi64x(static_cast<long long>(kH2Mix));
+  const __m256i vblocks =
+      _mm256_set1_epi64x(static_cast<long long>(range / 8));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i v7 = _mm256_set1_epi64x(7);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i key =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i h1 = fmix64_avx2(_mm256_xor_si256(key, vseed));
+    const __m256i h2 = fmix64_avx2(_mm256_xor_si256(h1, vmix));
+    // Block count = range/8 < 2^61; the narrow mulhi applies whenever it
+    // fits 32 bits (every realistic geometry).
+    const __m256i base = _mm256_slli_epi64(
+        (range / 8) >> 32 ? mulhi64_avx2(h1, vblocks)
+                          : mulhi64_b32_avx2(h1, vblocks),
+        3);
+    __m256i off = _mm256_and_si256(h2, v7);
+    const __m256i step = _mm256_or_si256(_mm256_srli_epi64(h2, 3), vone);
+    std::uint64_t* row = out + i * k;
+    alignas(32) std::uint64_t lane[4];
+    for (std::size_t j = 0; j < k; ++j) {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lane),
+                         _mm256_add_epi64(base, off));
+      row[0 * k + j] = lane[0];
+      row[1 * k + j] = lane[1];
+      row[2 * k + j] = lane[2];
+      row[3 * k + j] = lane[3];
+      off = _mm256_and_si256(_mm256_add_epi64(off, step), v7);
+    }
+  }
+  if (i < n) derive_blocked_scalar(keys + i, n - i, seed, k, range, out + i * k);
+}
+
+// -------------------------------------------------------------- AVX-512
+
+#define PPC_TARGET_AVX512 __attribute__((target("avx512f,avx512dq")))
+
+PPC_TARGET_AVX512 inline __m512i mulhi64_avx512(__m512i a,
+                                                __m512i b) noexcept {
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i ah = _mm512_srli_epi64(a, 32);
+  const __m512i bh = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i lh = _mm512_mul_epu32(a, bh);
+  const __m512i hl = _mm512_mul_epu32(ah, b);
+  const __m512i hh = _mm512_mul_epu32(ah, bh);
+  __m512i t = _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                               _mm512_and_si512(lh, m32));
+  t = _mm512_add_epi64(t, _mm512_and_si512(hl, m32));
+  __m512i high = _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32));
+  high = _mm512_add_epi64(high, _mm512_srli_epi64(hl, 32));
+  return _mm512_add_epi64(high, _mm512_srli_epi64(t, 32));
+}
+
+/// See mulhi64_b32_avx2: exact high64(a·b) for b < 2^32 in two partials.
+PPC_TARGET_AVX512 inline __m512i mulhi64_b32_avx512(__m512i a,
+                                                    __m512i b32) noexcept {
+  const __m512i ah = _mm512_srli_epi64(a, 32);
+  const __m512i lo = _mm512_srli_epi64(_mm512_mul_epu32(a, b32), 32);
+  return _mm512_srli_epi64(
+      _mm512_add_epi64(_mm512_mul_epu32(ah, b32), lo), 32);
+}
+
+PPC_TARGET_AVX512 inline __m512i fmix64_avx512(__m512i x) noexcept {
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, _mm512_set1_epi64(static_cast<long long>(kFmixC1)));
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, _mm512_set1_epi64(static_cast<long long>(kFmixC2)));
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+}
+
+PPC_TARGET_AVX512 void fmix64_pairs_avx512(const std::uint64_t* keys,
+                                           std::size_t n, std::uint64_t seed,
+                                           std::uint64_t* h1,
+                                           std::uint64_t* h2) noexcept {
+  const __m512i vseed = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i vmix = _mm512_set1_epi64(static_cast<long long>(kH2Mix));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i key = _mm512_loadu_si512(keys + i);
+    const __m512i a = fmix64_avx512(_mm512_xor_si512(key, vseed));
+    const __m512i b = fmix64_avx512(_mm512_xor_si512(a, vmix));
+    _mm512_storeu_si512(h1 + i, a);
+    _mm512_storeu_si512(h2 + i, b);
+  }
+  if (i < n) fmix64_pairs_scalar(keys + i, n - i, seed, h1 + i, h2 + i);
+}
+
+PPC_TARGET_AVX512 void derive_double_hashing_avx512(
+    const std::uint64_t* keys, std::size_t n, std::uint64_t seed,
+    std::size_t k, std::uint64_t range, std::uint64_t* out) noexcept {
+  const __m512i vseed = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i vmix = _mm512_set1_epi64(static_cast<long long>(kH2Mix));
+  const __m512i vrange = _mm512_set1_epi64(static_cast<long long>(range));
+  const __m512i vone = _mm512_set1_epi64(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i key = _mm512_loadu_si512(keys + i);
+    __m512i acc = fmix64_avx512(_mm512_xor_si512(key, vseed));
+    const __m512i step =
+        _mm512_or_si512(fmix64_avx512(_mm512_xor_si512(acc, vmix)), vone);
+    std::uint64_t* row = out + i * k;
+    // Key-major transpose through an aligned bounce buffer: plain scalar
+    // stores beat _mm512_i64scatter_epi64 here (vpscatterqq micro-codes to
+    // one store per lane anyway, plus conflict-check overhead).
+    alignas(64) std::uint64_t lane[8];
+    if (range >> 32) {
+      for (std::size_t j = 0; j < k; ++j) {
+        _mm512_store_si512(lane, mulhi64_avx512(acc, vrange));
+        for (std::size_t l = 0; l < 8; ++l) row[l * k + j] = lane[l];
+        acc = _mm512_add_epi64(acc, step);
+      }
+    } else {  // range < 2^32: two partial products instead of four
+      for (std::size_t j = 0; j < k; ++j) {
+        _mm512_store_si512(lane, mulhi64_b32_avx512(acc, vrange));
+        for (std::size_t l = 0; l < 8; ++l) row[l * k + j] = lane[l];
+        acc = _mm512_add_epi64(acc, step);
+      }
+    }
+  }
+  if (i < n) {
+    derive_double_hashing_scalar(keys + i, n - i, seed, k, range,
+                                 out + i * k);
+  }
+}
+
+PPC_TARGET_AVX512 void derive_blocked_avx512(
+    const std::uint64_t* keys, std::size_t n, std::uint64_t seed,
+    std::size_t k, std::uint64_t range, std::uint64_t* out) noexcept {
+  const __m512i vseed = _mm512_set1_epi64(static_cast<long long>(seed));
+  const __m512i vmix = _mm512_set1_epi64(static_cast<long long>(kH2Mix));
+  const __m512i vblocks = _mm512_set1_epi64(static_cast<long long>(range / 8));
+  const __m512i vone = _mm512_set1_epi64(1);
+  const __m512i v7 = _mm512_set1_epi64(7);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i key = _mm512_loadu_si512(keys + i);
+    const __m512i h1 = fmix64_avx512(_mm512_xor_si512(key, vseed));
+    const __m512i h2 = fmix64_avx512(_mm512_xor_si512(h1, vmix));
+    const __m512i base = _mm512_slli_epi64(
+        (range / 8) >> 32 ? mulhi64_avx512(h1, vblocks)
+                          : mulhi64_b32_avx512(h1, vblocks),
+        3);
+    __m512i off = _mm512_and_si512(h2, v7);
+    const __m512i step = _mm512_or_si512(_mm512_srli_epi64(h2, 3), vone);
+    std::uint64_t* row = out + i * k;
+    alignas(64) std::uint64_t lane[8];
+    for (std::size_t j = 0; j < k; ++j) {
+      _mm512_store_si512(lane, _mm512_add_epi64(base, off));
+      for (std::size_t l = 0; l < 8; ++l) row[l * k + j] = lane[l];
+      off = _mm512_and_si512(_mm512_add_epi64(off, step), v7);
+    }
+  }
+  if (i < n) derive_blocked_scalar(keys + i, n - i, seed, k, range, out + i * k);
+}
+
+#endif  // PPC_SIMD_X86
+
+// ------------------------------------------------------------- dispatch
+
+/// -1 = no override; otherwise a Level. Plain atomic (not thread-local):
+/// the override is test/bench setup, documented non-concurrent.
+std::atomic<int> g_level_override{-1};
+
+}  // namespace
+
+Level detected_level() noexcept {
+#if PPC_SIMD_X86
+  static const Level level = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return Level::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    return Level::kScalar;
+  }();
+  return level;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level active_level() noexcept {
+  const int override_level = g_level_override.load(std::memory_order_relaxed);
+  const Level detected = detected_level();
+  if (override_level < 0) {
+    // Default dispatch caps at AVX2 even when AVX-512 is detected: at the
+    // production hash count (k=7) the 512-bit arms only tie the 256-bit
+    // ones on the kernel (the per-index Lemire reduction is one MUL in
+    // scalar code, several plus a transpose in vectors), while 512-bit
+    // execution downclocks the surrounding memory-bound probe loops —
+    // BENCH_sharded_throughput recorded a net end-to-end loss with it on.
+    // set_level_override(kAvx512) still selects the 512-bit arms (they
+    // win on narrow k), and the parity tests sweep every detected level.
+    return detected < Level::kAvx2 ? detected : Level::kAvx2;
+  }
+  return static_cast<int>(detected) < override_level
+             ? detected
+             : static_cast<Level>(override_level);
+}
+
+void set_level_override(Level level) noexcept {
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_level_override() noexcept {
+  g_level_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kScalar:
+      return "scalar";
+  }
+  return "unknown";
+}
+
+void fmix64_pairs(const std::uint64_t* keys, std::size_t n,
+                  std::uint64_t seed, std::uint64_t* h1,
+                  std::uint64_t* h2) noexcept {
+  switch (active_level()) {
+#if PPC_SIMD_X86
+    case Level::kAvx512:
+      fmix64_pairs_avx512(keys, n, seed, h1, h2);
+      return;
+    case Level::kAvx2:
+      fmix64_pairs_avx2(keys, n, seed, h1, h2);
+      return;
+#endif
+    default:
+      fmix64_pairs_scalar(keys, n, seed, h1, h2);
+      return;
+  }
+}
+
+void derive_double_hashing(const std::uint64_t* keys, std::size_t n,
+                           std::uint64_t seed, std::size_t k,
+                           std::uint64_t range, std::uint64_t* out) noexcept {
+  switch (active_level()) {
+#if PPC_SIMD_X86
+    case Level::kAvx512:
+      derive_double_hashing_avx512(keys, n, seed, k, range, out);
+      return;
+    case Level::kAvx2:
+      derive_double_hashing_avx2(keys, n, seed, k, range, out);
+      return;
+#endif
+    default:
+      derive_double_hashing_scalar(keys, n, seed, k, range, out);
+      return;
+  }
+}
+
+void derive_blocked(const std::uint64_t* keys, std::size_t n,
+                    std::uint64_t seed, std::size_t k, std::uint64_t range,
+                    std::uint64_t* out) noexcept {
+  switch (active_level()) {
+#if PPC_SIMD_X86
+    case Level::kAvx512:
+      derive_blocked_avx512(keys, n, seed, k, range, out);
+      return;
+    case Level::kAvx2:
+      derive_blocked_avx2(keys, n, seed, k, range, out);
+      return;
+#endif
+    default:
+      derive_blocked_scalar(keys, n, seed, k, range, out);
+      return;
+  }
+}
+
+}  // namespace ppc::hashing::simd

@@ -1,0 +1,85 @@
+// Vectorized multi-key index derivation: the batch-ingestion hash stage.
+//
+// The bucketized hot paths (GroupBloomFilter / TimingBloomFilter
+// offer_batch, fed shard-contiguous runs by ShardedDetector) hand
+// IndexFamily *contiguous* 64-bit click ids. Deriving each key's (h1, h2)
+// pair is two fmix64 chains — pure 64-bit mul/xor/shift arithmetic with no
+// memory traffic — which the PR-1 phase microbench measured at ~20% of
+// batch ingest cost. That is exactly the shape SIMD eats: the kernels here
+// run 4 (AVX2) or 8 (AVX-512) fmix64 chains per instruction stream and
+// then derive the k double-hashed / blocked indices per key with a
+// vectorized Lemire fast-range reduction.
+//
+// Contract: EXACT INDEX PARITY. Every arm (scalar, AVX2, AVX-512) produces
+// bit-identical indices to IndexFamily::indices(std::uint64_t, span) for
+// every key — same fmix64 chain (multiplication mod 2^64), same fast_range
+// high-64 product, same in-block offset walk. Not just statistical parity:
+// the FPR theory in analysis::theory, the sizing planner, and every
+// checked-in detector snapshot remain valid no matter which arm ran.
+// tests/simd_parity_test.cpp enforces this element-for-element.
+//
+// Dispatch: resolved once at first use from CPUID (AVX-512DQ+F → 8-lane,
+// else AVX2 → 4-lane, else scalar). `set_level_override` clamps to what
+// the CPU supports — tests and benches use it to exercise/compare the
+// scalar arm on SIMD hardware. Building with -DPPC_DISABLE_SIMD=ON
+// compiles the vector arms out entirely (the escape hatch for exotic
+// toolchains); the public API is unchanged and everything runs scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppc::hashing::simd {
+
+/// Widest batch any kernel consumes per call; callers that block their
+/// input (e.g. the offer_batch hash rings) should use multiples of this.
+inline constexpr std::size_t kMaxLanes = 8;
+
+enum class Level : std::uint8_t {
+  kScalar = 0,  ///< portable fallback, always available
+  kAvx2 = 1,    ///< 4 keys per vector
+  kAvx512 = 2,  ///< 8 keys per vector (needs AVX-512F + DQ for vpmullq)
+};
+
+/// Best level this binary + CPU supports (constant after first call).
+Level detected_level() noexcept;
+
+/// Level the kernels actually dispatch to: the override if one is set
+/// (clamped to detected_level()), else min(detected_level(), kAvx2) —
+/// default dispatch stops at AVX2 because 512-bit execution downclocks
+/// the memory-bound probe loops around the hash stage for no kernel win
+/// at production k (see the rationale in active_level()'s definition);
+/// set_level_override(kAvx512) opts in explicitly.
+Level active_level() noexcept;
+
+/// Forces dispatch at or below `level` until clear_level_override().
+/// Requests above detected_level() clamp down. Not thread-safe against
+/// concurrent kernel invocations — intended for test/bench setup.
+void set_level_override(Level level) noexcept;
+void clear_level_override() noexcept;
+
+/// Human-readable name ("scalar" / "avx2" / "avx512") for bench labels.
+const char* level_name(Level level) noexcept;
+
+/// Derives (h1, h2) for n contiguous keys:
+///   h1[i] = fmix64(keys[i] ^ seed)
+///   h2[i] = fmix64(h1[i] ^ 0xc4ceb9fe1a85ec53)
+/// — the exact pair IndexFamily's u64 fast path feeds its fillers.
+void fmix64_pairs(const std::uint64_t* keys, std::size_t n,
+                  std::uint64_t seed, std::uint64_t* h1,
+                  std::uint64_t* h2) noexcept;
+
+/// Kirsch–Mitzenmacher fill for n keys, key-major: out[i*k + j] is key i's
+/// j-th index, = high64((h1 + j·(h2|1)) · range) exactly as
+/// IndexFamily::fill_double_hashing computes it.
+void derive_double_hashing(const std::uint64_t* keys, std::size_t n,
+                           std::uint64_t seed, std::size_t k,
+                           std::uint64_t range, std::uint64_t* out) noexcept;
+
+/// Cache-line-blocked fill for n keys, key-major (IndexFamily::fill_blocked
+/// parity: base = high64(h1 · (range/8))·8, odd in-block step from h2).
+void derive_blocked(const std::uint64_t* keys, std::size_t n,
+                    std::uint64_t seed, std::size_t k, std::uint64_t range,
+                    std::uint64_t* out) noexcept;
+
+}  // namespace ppc::hashing::simd

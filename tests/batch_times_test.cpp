@@ -1,0 +1,226 @@
+// Per-click-timestamp batch ingestion (the PR-2 bugfix): the
+// `offer_batch(ids, times, out)` overload must be verdict-for-verdict
+// identical to a sequential `offer(ids[i], times[i])` replay for
+// time-based windows — the scalar-time overload stamps a whole batch with
+// one timestamp and coarsens expiry to batch granularity, which these
+// tests demonstrate the timed path does NOT do. The overload is threaded
+// through ShardedDetector's bucketization and DetectorPool's ad grouping,
+// so both wrappers are replayed here too.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adnet/detector_pool.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/sharded_detector.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "detector_test_util.hpp"
+#include "stream/rng.hpp"
+
+namespace ppc::core {
+namespace {
+
+/// Monotone microsecond timestamps with a mix of same-unit runs, sub-unit
+/// steps and occasional multi-unit gaps, so batches straddle window
+/// advances, sub-window jumps and idle periods.
+std::vector<std::uint64_t> make_times(std::size_t n, std::uint64_t unit_us,
+                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> times(n);
+  stream::Rng rng(seed);
+  std::uint64_t t = 1'000'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.05)) {
+      t += unit_us * (1 + rng.below(30));  // idle gap, several units
+    } else if (rng.chance(0.5)) {
+      t += rng.below(unit_us);  // sub-unit jitter (often same unit)
+    }
+    times[i] = t;
+  }
+  return times;
+}
+
+template <typename Detector>
+void expect_timed_batches_match_replay(Detector& seq, Detector& bat,
+                                       std::span<const ClickId> ids,
+                                       std::span<const std::uint64_t> times) {
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq.offer(ids[i], times[i]);
+  }
+  const std::size_t sizes[] = {1, 2, 7, 64, 333, 4096};
+  std::size_t which = 0, off = 0;
+  bool buf[4096];
+  while (off < ids.size()) {
+    const std::size_t n =
+        std::min(sizes[which++ % std::size(sizes)], ids.size() - off);
+    bat.offer_batch(std::span<const ClickId>(ids.data() + off, n),
+                    std::span<const std::uint64_t>(times.data() + off, n),
+                    std::span<bool>(buf, n));
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(buf[j], expected[off + j]) << "diverged at " << off + j;
+    }
+    off += n;
+  }
+}
+
+TEST(TimedBatch, GbfTimeBasedMatchesSequentialReplay) {
+  const auto w = WindowSpec::jumping_time(400'000, 4, 10'000);
+  GroupBloomFilter::Options opts;
+  opts.bits_per_subfilter = 1 << 14;
+  opts.hash_count = 5;
+  GroupBloomFilter seq(w, opts);
+  GroupBloomFilter bat(w, opts);
+  const auto ids = testutil::make_id_stream(9000, 0.3, 1024, 61);
+  const auto times = make_times(ids.size(), 10'000, 62);
+  expect_timed_batches_match_replay(seq, bat, ids, times);
+}
+
+TEST(TimedBatch, TbfTimeBasedMatchesSequentialReplay) {
+  const auto w = WindowSpec::sliding_time(300'000, 10'000);
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 14;
+  opts.hash_count = 5;
+  TimingBloomFilter seq(w, opts);
+  TimingBloomFilter bat(w, opts);
+  const auto ids = testutil::make_id_stream(9000, 0.3, 1024, 63);
+  const auto times = make_times(ids.size(), 10'000, 64);
+  expect_timed_batches_match_replay(seq, bat, ids, times);
+}
+
+TEST(TimedBatch, ScalarTimeOverloadStillCoarsensButTimedDoesNot) {
+  // One duplicate pair separated by more than the window: a sequential /
+  // timed-batch replay expires the first copy, while the scalar-time
+  // overload (whole batch stamped with the LAST timestamp) must still
+  // classify consistently with its documented one-timestamp semantics.
+  const auto w = WindowSpec::sliding_time(100'000, 10'000);
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 12;
+  TimingBloomFilter timed(w, opts);
+  const ClickId ids[] = {42, 7, 42};
+  const std::uint64_t times[] = {0, 150'000, 300'000};
+  bool buf[3];
+  timed.offer_batch(std::span<const ClickId>(ids, 3),
+                    std::span<const std::uint64_t>(times, 3),
+                    std::span<bool>(buf, 3));
+  EXPECT_FALSE(buf[0]);
+  EXPECT_FALSE(buf[1]);
+  EXPECT_FALSE(buf[2]) << "first 42 expired 300ms ago; timed path must not "
+                          "resurrect it";
+}
+
+TEST(TimedBatch, CountBasisIgnoresTimestamps) {
+  const auto w = WindowSpec::sliding_count(256);
+  TimingBloomFilter::Options opts;
+  opts.entries = 1 << 12;
+  TimingBloomFilter plain(w, opts);
+  TimingBloomFilter timed(w, opts);
+  const auto ids = testutil::make_id_stream(3000, 0.4, 256, 65);
+  const auto times = make_times(ids.size(), 10'000, 66);
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = plain.offer(ids[i]);
+  }
+  bool buf[3000];
+  timed.offer_batch(std::span<const ClickId>(ids.data(), ids.size()),
+                    std::span<const std::uint64_t>(times.data(), times.size()),
+                    std::span<bool>(buf, ids.size()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(buf[i], expected[i]) << "diverged at " << i;
+  }
+}
+
+ShardedDetector::Factory tbf_time_factory() {
+  return [](std::size_t shard) {
+    TimingBloomFilter::Options opts;
+    opts.entries = 1 << 13;
+    opts.hash_count = 5;
+    opts.seed = shard;
+    return std::make_unique<TimingBloomFilter>(
+        WindowSpec::sliding_time(300'000, 10'000), opts);
+  };
+}
+
+class ShardedTimedBatch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedTimedBatch, MatchesSequentialReplayThroughBucketization) {
+  const std::size_t threads = GetParam();
+  ShardedDetector seq(8, tbf_time_factory(), {.threads = threads});
+  ShardedDetector bat(8, tbf_time_factory(), {.threads = threads});
+  const auto ids = testutil::make_id_stream(12000, 0.3, 2048, 71);
+  const auto times = make_times(ids.size(), 10'000, 72);
+  expect_timed_batches_match_replay(seq, bat, ids, times);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ShardedTimedBatch, ::testing::Values(1, 4));
+
+TEST(ShardedTimedBatch, SingleShardShortCircuitTakesTimedPath) {
+  ShardedDetector seq(1, tbf_time_factory());
+  ShardedDetector bat(1, tbf_time_factory());
+  const auto ids = testutil::make_id_stream(4000, 0.3, 512, 73);
+  const auto times = make_times(ids.size(), 10'000, 74);
+  expect_timed_batches_match_replay(seq, bat, ids, times);
+}
+
+TEST(ShardedWindow, CountBasedWindowAggregatesAcrossShards) {
+  // PR-2 bugfix: window() used to return the FRONT SHARD's spec — for a
+  // global window of N split into S shards of N/S each, it understated the
+  // window by a factor of S.
+  const auto factory = [](std::size_t) {
+    GroupBloomFilter::Options opts;
+    opts.bits_per_subfilter = 1 << 12;
+    return std::make_unique<GroupBloomFilter>(
+        WindowSpec::jumping_count(1024, 4), opts);
+  };
+  ShardedDetector sharded(8, factory);
+  const WindowSpec w = sharded.window();
+  EXPECT_EQ(w.basis, WindowBasis::kCount);
+  EXPECT_EQ(w.length, 8 * 1024u);
+  EXPECT_NO_THROW(w.validate());
+}
+
+TEST(ShardedWindow, TimeBasedWindowPassesThroughUnchanged) {
+  ShardedDetector sharded(8, tbf_time_factory());
+  const WindowSpec w = sharded.window();
+  EXPECT_EQ(w.basis, WindowBasis::kTime);
+  EXPECT_EQ(w.length, 300'000u);  // same clock on every shard — no scaling
+}
+
+TEST(DetectorPoolTimedBatch, MatchesSequentialReplayPerAd) {
+  const auto factory = [](std::uint32_t ad_id) {
+    TimingBloomFilter::Options opts;
+    opts.entries = 1 << 12;
+    opts.seed = ad_id;
+    return std::make_unique<TimingBloomFilter>(
+        WindowSpec::sliding_time(300'000, 10'000), opts);
+  };
+  adnet::DetectorPool seq(factory);
+  adnet::DetectorPool bat(factory);
+
+  const auto ids = testutil::make_id_stream(8000, 0.3, 1024, 81);
+  const auto times = make_times(ids.size(), 10'000, 82);
+  stream::Rng rng(83);
+  std::vector<std::uint32_t> ad_ids(ids.size());
+  for (auto& ad : ad_ids) ad = static_cast<std::uint32_t>(rng.below(5));
+
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq.offer(ad_ids[i], ids[i], times[i]);
+  }
+  constexpr std::size_t kBatch = 512;
+  bool buf[kBatch];
+  for (std::size_t off = 0; off < ids.size(); off += kBatch) {
+    const std::size_t n = std::min(kBatch, ids.size() - off);
+    bat.offer_batch(
+        std::span<const std::uint32_t>(ad_ids.data() + off, n),
+        std::span<const ClickId>(ids.data() + off, n),
+        std::span<const std::uint64_t>(times.data() + off, n),
+        std::span<bool>(buf, n));
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(buf[j], expected[off + j]) << "diverged at " << off + j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc::core

@@ -1,0 +1,246 @@
+// Exact index parity of the SIMD batch-hashing kernels: every dispatch
+// level must produce indices bit-identical to the scalar IndexFamily path
+// for every strategy, k, range and seed — the contract that keeps the FPR
+// theory, the sizing planner and checked-in snapshots valid regardless of
+// which arm ran. The whole file also runs in the -DPPC_DISABLE_SIMD=ON
+// build (tools/check.sh second pass), where detected_level() is kScalar
+// and the sweeps degenerate to scalar-vs-scalar.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/validity_oracle.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "hashing/hash_common.hpp"
+#include "hashing/index_family.hpp"
+#include "hashing/simd_fmix.hpp"
+#include "stream/rng.hpp"
+#include "stream/zipf.hpp"
+
+namespace ppc::hashing {
+namespace {
+
+using simd::Level;
+
+std::vector<Level> available_levels() {
+  std::vector<Level> levels{Level::kScalar};
+  if (simd::detected_level() >= Level::kAvx2) levels.push_back(Level::kAvx2);
+  if (simd::detected_level() >= Level::kAvx512) {
+    levels.push_back(Level::kAvx512);
+  }
+  return levels;
+}
+
+/// Restores default dispatch even when an assertion aborts the test body.
+struct LevelGuard {
+  ~LevelGuard() { simd::clear_level_override(); }
+};
+
+TEST(SimdDispatch, OverrideClampsToDetectedLevel) {
+  const LevelGuard guard;
+  simd::set_level_override(Level::kAvx512);
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  simd::set_level_override(Level::kScalar);
+  EXPECT_EQ(simd::active_level(), Level::kScalar);
+  simd::clear_level_override();
+  // Default dispatch deliberately stops at AVX2 (512-bit downclock tax on
+  // the surrounding probe loops); AVX-512 is override-only.
+  EXPECT_EQ(simd::active_level(),
+            std::min(simd::detected_level(), Level::kAvx2));
+  for (const Level level : available_levels()) {
+    EXPECT_NE(simd::level_name(level), nullptr);
+  }
+}
+
+TEST(SimdParity, Fmix64PairsMatchTheScalarChainAtEveryLevel) {
+  const LevelGuard guard;
+  stream::Rng rng(2026);
+  // Sizes straddle every lane-count boundary (0, partial, full, multi).
+  const std::size_t sizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33};
+  for (const std::size_t n : sizes) {
+    std::vector<std::uint64_t> keys(n);
+    for (auto& key : keys) key = rng.next();
+    const std::uint64_t seed = rng.next();
+    for (const Level level : available_levels()) {
+      simd::set_level_override(level);
+      std::vector<std::uint64_t> h1(n), h2(n);
+      simd::fmix64_pairs(keys.data(), n, seed, h1.data(), h2.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t want1 = fmix64(keys[i] ^ seed);
+        ASSERT_EQ(h1[i], want1)
+            << "h1 lane " << i << " at " << simd::level_name(level);
+        ASSERT_EQ(h2[i], fmix64(want1 ^ 0xc4ceb9fe1a85ec53ULL))
+            << "h2 lane " << i << " at " << simd::level_name(level);
+      }
+    }
+  }
+}
+
+TEST(SimdParity, EveryStrategyKRangeSeedMatchesScalarElementForElement) {
+  const LevelGuard guard;
+  stream::Rng rng(77);
+  const IndexStrategy strategies[] = {
+      IndexStrategy::kDoubleHashing, IndexStrategy::kCacheLineBlocked,
+      IndexStrategy::kIndependentHashes, IndexStrategy::kTabulation};
+  for (const IndexStrategy strategy : strategies) {
+    for (int trial = 0; trial < 12; ++trial) {
+      // Blocked probing caps k at 8; sweep wider for the others. Ranges mix
+      // powers of two, odd values and non-multiples of 8.
+      const bool blocked = strategy == IndexStrategy::kCacheLineBlocked;
+      const std::size_t k = 1 + rng.below(blocked ? 8 : 13);
+      // Every third trial uses a > 2^32 range so the wide-multiply arm of
+      // the Lemire reduction is pinned too, not just the narrow fast path.
+      const std::uint64_t range =
+          trial % 3 == 0 ? (std::uint64_t{1} << 33) + rng.below(1u << 20)
+                         : 8 + rng.below(1u << 20);
+      const std::uint64_t seed = rng.next();
+      const IndexFamily family(k, range, strategy, seed);
+
+      const std::size_t n = 1 + rng.below(40);
+      std::vector<std::uint64_t> keys(n);
+      for (auto& key : keys) key = rng.next();
+
+      std::vector<std::uint64_t> expected(n * k);
+      for (std::size_t i = 0; i < n; ++i) {
+        family.indices(keys[i],
+                       std::span<std::uint64_t>(expected.data() + i * k, k));
+      }
+      for (const Level level : available_levels()) {
+        simd::set_level_override(level);
+        std::vector<std::uint64_t> got(n * k, ~std::uint64_t{0});
+        family.indices_batch(keys, got);
+        for (std::size_t i = 0; i < n * k; ++i) {
+          ASSERT_EQ(got[i], expected[i])
+              << "strategy " << static_cast<int>(strategy) << " k " << k
+              << " range " << range << " element " << i << " at "
+              << simd::level_name(level);
+        }
+      }
+      simd::clear_level_override();
+    }
+  }
+}
+
+TEST(SimdParity, RawKernelsMatchAcrossLevelsOnLaneBoundaries) {
+  const LevelGuard guard;
+  stream::Rng rng(4242);
+  // Drive the kernels directly (not via IndexFamily) so tail handling of
+  // each arm is pinned at every n mod 8.
+  for (std::size_t n = 0; n <= 24; ++n) {
+    std::vector<std::uint64_t> keys(n);
+    for (auto& key : keys) key = rng.next();
+    const std::uint64_t seed = rng.next();
+    const std::size_t k = 1 + rng.below(8);
+    const std::uint64_t range = n % 2 == 0
+                                    ? 64 + rng.below(1u << 16)
+                                    : (std::uint64_t{1} << 34) + rng.next() % 997;
+
+    simd::set_level_override(Level::kScalar);
+    std::vector<std::uint64_t> dh_ref(n * k), bl_ref(n * k);
+    simd::derive_double_hashing(keys.data(), n, seed, k, range, dh_ref.data());
+    simd::derive_blocked(keys.data(), n, seed, k, range / 8 * 8,
+                         bl_ref.data());
+    for (const Level level : available_levels()) {
+      simd::set_level_override(level);
+      std::vector<std::uint64_t> dh(n * k), bl(n * k);
+      simd::derive_double_hashing(keys.data(), n, seed, k, range, dh.data());
+      simd::derive_blocked(keys.data(), n, seed, k, range / 8 * 8, bl.data());
+      ASSERT_EQ(dh, dh_ref) << "double hashing n " << n << " at "
+                            << simd::level_name(level);
+      ASSERT_EQ(bl, bl_ref) << "blocked n " << n << " at "
+                            << simd::level_name(level);
+    }
+    simd::clear_level_override();
+  }
+}
+
+TEST(BlockedRounding, NonMultipleOf8RangesRoundDownAndStayUniform) {
+  stream::Rng rng(99);
+  // Sweep every range residue mod 8 plus a larger irregular range: the
+  // constructor must round down, every produced index must stay inside the
+  // rounded range, and — the PR-2 bugfix — every 8-index block must be
+  // reachable (the old behaviour stranded the trailing range%8 indices and
+  // skewed what the FPR formulas call m).
+  const std::uint64_t ranges[] = {9,  10, 11, 12, 13, 14,  15,  16,
+                                  17, 23, 33, 77, 97, 250, 1003};
+  for (const std::uint64_t raw : ranges) {
+    const IndexFamily family(5, raw, IndexStrategy::kCacheLineBlocked, 11);
+    const std::uint64_t rounded = raw / 8 * 8;
+    ASSERT_EQ(family.range(), rounded) << "raw range " << raw;
+
+    const std::uint64_t blocks = rounded / 8;
+    std::vector<std::uint32_t> block_hits(blocks, 0);
+    std::uint64_t idx[8];
+    const std::size_t samples = 512 * blocks;
+    for (std::size_t i = 0; i < samples; ++i) {
+      family.indices(rng.next(), std::span<std::uint64_t>(idx, 5));
+      for (std::size_t j = 0; j < 5; ++j) {
+        ASSERT_LT(idx[j], rounded) << "raw range " << raw;
+        ++block_hits[idx[j] / 8];
+      }
+    }
+    // Uniformity: with 512·k expected hits per block, an untouched (or
+    // wildly hot) block means the reduction is biased or unreachable.
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      ASSERT_GT(block_hits[b], 0u) << "unreached block " << b << " of "
+                                   << blocks << " (raw range " << raw << ")";
+      ASSERT_LT(block_hits[b], 8 * 512 * 5) << "hot block " << b;
+    }
+  }
+}
+
+// Theorem 1/2 end-to-end through the SIMD batch path: a heavy-tailed Zipf
+// stream (the realistic click-fraud workload) batched through offer_batch
+// must produce ZERO false negatives against the validity oracle.
+TEST(SimdZeroFalseNegatives, GbfAndTbfOnZipfThroughBatchPath) {
+  stream::Rng rng(314159);
+  const stream::ZipfSampler zipf(4096, 1.1);
+  std::vector<std::uint64_t> ids(30000);
+  for (auto& id : ids) id = 0xC11C'0000'0000ULL + zipf.sample(rng);
+
+  {
+    core::GroupBloomFilter gbf(core::WindowSpec::jumping_count(2048, 8),
+                               {.bits_per_subfilter = 1 << 15,
+                                .hash_count = 6});
+    analysis::JumpingOracle oracle(2048, 8);
+    std::vector<bool> out(ids.size());
+    constexpr std::size_t kBatch = 256;
+    bool buf[kBatch];
+    for (std::size_t off = 0; off < ids.size(); off += kBatch) {
+      const std::size_t n = std::min(kBatch, ids.size() - off);
+      gbf.offer_batch(std::span<const core::ClickId>(ids.data() + off, n),
+                      std::span<bool>(buf, n));
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool duplicate = buf[j];
+        if (oracle.contains_valid(ids[off + j])) {
+          ASSERT_TRUE(duplicate) << "GBF false negative at " << off + j;
+        }
+        oracle.record(ids[off + j], !duplicate, 0);
+      }
+    }
+  }
+  {
+    core::TimingBloomFilter tbf(core::WindowSpec::sliding_count(2048),
+                                {.entries = 1 << 15, .hash_count = 6});
+    analysis::SlidingOracle oracle(2048);
+    constexpr std::size_t kBatch = 256;
+    bool buf[kBatch];
+    for (std::size_t off = 0; off < ids.size(); off += kBatch) {
+      const std::size_t n = std::min(kBatch, ids.size() - off);
+      tbf.offer_batch(std::span<const core::ClickId>(ids.data() + off, n),
+                      std::span<bool>(buf, n));
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool duplicate = buf[j];
+        if (oracle.contains_valid(ids[off + j])) {
+          ASSERT_TRUE(duplicate) << "TBF false negative at " << off + j;
+        }
+        oracle.record(ids[off + j], !duplicate, 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppc::hashing

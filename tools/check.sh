@@ -2,9 +2,14 @@
 # Tier-1 verification plus the threading race gate.
 #
 #   1. regular build + full ctest suite (the ROADMAP tier-1 command);
-#   2. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
-#      tests — sharded_test, runtime_test, parallel_batch_test — so every
-#      PR touching the parallel ingestion paths gets a race check.
+#   2. the same suite built with -DPPC_DISABLE_SIMD=ON — the scalar-only
+#      escape hatch must stay green AND produce identical verdicts (the
+#      parity/equivalence tests run in both builds, so a divergence between
+#      the SIMD and scalar index kernels fails here);
+#   3. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
+#      tests — sharded_test, runtime_test, parallel_batch_test,
+#      batch_times_test — so every PR touching the parallel ingestion
+#      paths gets a race check.
 #
 # Usage: tools/check.sh [--tsan-only]
 set -euo pipefail
@@ -19,14 +24,20 @@ if [[ "$TSAN_ONLY" == 0 ]]; then
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+
+  echo "== tier-1 (scalar): -DPPC_DISABLE_SIMD=ON build + ctest =="
+  cmake -B build-nosimd -S . -DPPC_DISABLE_SIMD=ON \
+    -DPPC_BUILD_BENCH=OFF -DPPC_BUILD_EXAMPLES=OFF
+  cmake --build build-nosimd -j "$JOBS"
+  (cd build-nosimd && ctest --output-on-failure -j "$JOBS")
 fi
 
 echo "== race gate: TSan build of the concurrency tests =="
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
   -DPPC_BUILD_BENCH=OFF -DPPC_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$JOBS" \
-  --target sharded_test runtime_test parallel_batch_test
-for t in sharded_test runtime_test parallel_batch_test; do
+  --target sharded_test runtime_test parallel_batch_test batch_times_test
+for t in sharded_test runtime_test parallel_batch_test batch_times_test; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
 done
