@@ -125,10 +125,38 @@ inline void print_row(const std::vector<double>& vals, int width = 14) {
   std::fputc('\n', stdout);
 }
 
+/// Best-effort CPU model string (Linux /proc/cpuinfo); empty when unknown.
+/// Recorded next to throughput numbers so a BENCH_*.json from one host is
+/// never silently compared against another host's.
+inline std::string cpu_model_string() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "";
+  std::string model;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        const char* p = colon + 1;
+        while (*p == ' ' || *p == '\t') ++p;
+        model = p;
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == '\r')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
 /// Machine-readable output for the perf trajectory: every bench that takes
 /// --json=<path> appends rows here and the destructor (or write()) emits
 ///
 ///   { "bench": "<name>",
+///     "meta": { "<key>": <number-or-string>, ... },   // when set_meta used
 ///     "rows": [ {"series": "...", "<field>": <number>, ...}, ... ] }
 ///
 /// Numbers are finite doubles (NaN/Inf become null); integral values print
@@ -151,6 +179,18 @@ class JsonSeriesWriter {
   }
 
   bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Records a host/run metadata entry (numeric), emitted once in a
+  /// "meta" object ahead of the rows. Later calls with the same key win.
+  void set_meta(const std::string& key, double value) {
+    if (!enabled()) return;
+    set_meta_raw(key, number(value));
+  }
+  /// String metadata entry (e.g. the CPU model).
+  void set_meta(const std::string& key, const std::string& value) {
+    if (!enabled()) return;
+    set_meta_raw(key, "\"" + escaped(value) + "\"");
+  }
 
   /// Appends one row: a series label plus numeric fields, in call order.
   void add(const std::string& series,
@@ -180,8 +220,16 @@ class JsonSeriesWriter {
     if (f == nullptr) {
       throw std::runtime_error("JsonSeriesWriter: cannot open " + path_);
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
-                 escaped(bench_).c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",", escaped(bench_).c_str());
+    if (!meta_.empty()) {
+      std::fprintf(f, "\n  \"meta\": {");
+      for (std::size_t i = 0; i < meta_.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     escaped(meta_[i].first).c_str(), meta_[i].second.c_str());
+      }
+      std::fprintf(f, "},");
+    }
+    std::fprintf(f, "\n  \"rows\": [");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "%s\n    {\"series\": \"%s\"", i == 0 ? "" : ",",
                    escaped(rows_[i].series).c_str());
@@ -203,6 +251,16 @@ class JsonSeriesWriter {
     std::string series;
     std::vector<std::pair<std::string, double>> fields;
   };
+
+  void set_meta_raw(const std::string& key, std::string json_value) {
+    for (auto& [k, v] : meta_) {
+      if (k == key) {
+        v = std::move(json_value);
+        return;
+      }
+    }
+    meta_.emplace_back(key, std::move(json_value));
+  }
 
   static std::string escaped(const std::string& s) {
     std::string out;
@@ -232,6 +290,7 @@ class JsonSeriesWriter {
 
   std::string bench_;
   std::string path_;
+  std::vector<std::pair<std::string, std::string>> meta_;  ///< key → JSON
   std::vector<Row> rows_;
   bool written_ = false;
 };

@@ -46,9 +46,21 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 
 /// BENCHMARK_MAIN() plus --json: strips benchutil flags, hands the rest to
 /// google-benchmark, and writes the captured series when --json was given.
+/// Single-threaded benches pass allow_threads=false so a --threads=<n>
+/// request fails loudly instead of being silently ignored (the number
+/// would otherwise look like a per-thread figure that it is not).
 inline int gbench_main_with_json(int argc, char** argv,
-                                 const char* bench_name) {
+                                 const char* bench_name,
+                                 bool allow_threads = true) {
   const Args args = Args::parse_known(argc, argv);
+  if (!allow_threads && args.threads != 0) {
+    std::fprintf(stderr,
+                 "%s: --threads is not supported (this bench measures the "
+                 "single-threaded hot loop; use sharded_throughput for "
+                 "multi-thread scaling)\n",
+                 bench_name);
+    return 2;
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonSeriesWriter writer(bench_name, args.json);

@@ -9,17 +9,26 @@
 //     baseline" every speedup is quoted against);
 //   * batch  — ShardedDetector::offer_batch: micro-batches bucketized by
 //     shard, one lock per shard per batch, pipelined inner offer_batch,
-//     optional fan-out across ShardedDetector::Options::threads.
+//     optional fan-out across ShardedDetector::Options::threads;
+//   * engine — the same offer_batch surface running the lock-free
+//     owner-pinned SPSC engine (EngineMode::kSpscOwner): buckets are
+//     posted to long-lived owner threads through SPSC rings, no mutex on
+//     the hot path. Interleaved rep-by-rep with the mutex arms and
+//     subject to a regression floor: on hosts with ≥ 4 hardware threads,
+//     engine throughput at threads ≥ 4 must be ≥ 1.3× the mutex batch
+//     arm, or the bench exits nonzero.
 //
 // Filters are sized cache-hostile on purpose (the production regime: a
 // window of millions of clicks does not fit in L2), which is exactly where
 // the batch path's prefetch pipelining pays. --json=<path> records the
 // series machine-readably; the checked-in BENCH_sharded_throughput.json is
 // this bench's output and the perf baseline future PRs diff against.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -155,6 +164,13 @@ int main(int argc, char** argv) {
   }
 
   benchutil::JsonSeriesWriter json("sharded_throughput", args.json);
+  // Host metadata rides in the JSON header: throughput and speedup numbers
+  // are only comparable against a baseline recorded on the same class of
+  // machine, and the engine-vs-mutex gain in particular is meaningless on
+  // a single-hardware-thread box.
+  json.set_meta("hw_threads",
+                static_cast<double>(runtime::ThreadPool::hardware_threads()));
+  json.set_meta("cpu_model", benchutil::cpu_model_string());
   std::printf("sharded ingestion: %zu clicks, batch=%zu, gbf window=%llu, "
               "tbf window=%llu (hardware threads: %zu, simd: %s, "
               "detected: %s)\n\n",
@@ -165,12 +181,25 @@ int main(int argc, char** argv) {
               hashing::simd::level_name(hashing::simd::active_level()),
               hashing::simd::level_name(hashing::simd::detected_level()));
   // batch-s = batch path with the SIMD kernels pinned to their scalar arm
-  // (the PR-1 hash stage); batch = default dispatch. The last column is
-  // batch over batch-s — the vectorized hash stage's contribution alone,
-  // same memory traffic on both sides.
+  // (the PR-1 hash stage); batch = default dispatch; engine = the SPSC
+  // owner engine (default dispatch). The last column is the row's gain
+  // over its reference arm: batch over batch-s (the vectorized hash
+  // stage's contribution alone), engine over batch (the lock-free
+  // engine's contribution alone — same SIMD level, same memory traffic).
   std::printf("%6s %7s %8s %8s %12s %9s %9s\n", "algo", "shards", "mode",
-              "threads", "Mclicks/s", "speedup", "simdgain");
+              "threads", "Mclicks/s", "speedup", "gain");
   benchutil::print_rule(6, 9);
+
+  // Regression-floor violations (engine < 1.3× mutex batch at threads ≥ 4)
+  // collected across the sweep; asserted at exit so one bad cell fails CI.
+  std::vector<std::string> floor_violations;
+  const bool check_floor = runtime::ThreadPool::hardware_threads() >= 4;
+  if (!check_floor) {
+    std::printf("note: %zu hardware thread(s) — the engine-vs-mutex floor "
+                "(engine >= 1.3x batch at threads >= 4) is recorded but not "
+                "asserted; owner threads cannot run in parallel here.\n\n",
+                runtime::ThreadPool::hardware_threads());
+  }
 
   for (const Algo& algo : algos) {
     for (const std::size_t shards : shard_counts) {
@@ -199,20 +228,30 @@ int main(int argc, char** argv) {
                            {"speedup_vs_mutex_offer", 1.0}});
 
       for (const std::size_t threads : thread_counts) {
-        core::ShardedDetector d(shards, algo.factory(shards),
-                                {.threads = threads});
-        run_batch(d, ids);  // warm up filters + caches once for both arms
+        core::ShardedDetector d(
+            shards, algo.factory(shards),
+            {.threads = threads,
+             .engine = core::ShardedDetector::EngineMode::kMutex});
+        core::ShardedDetector e(
+            shards, algo.factory(shards),
+            {.threads = threads,
+             .engine = core::ShardedDetector::EngineMode::kSpscOwner});
+        run_batch(d, ids);  // warm up filters + caches once for all arms
+        run_batch(e, ids);
 
-        // Two arms, INTERLEAVED rep-by-rep so the shared-host clock drift
-        // (turbo decay / CPU-credit burn over an 8-minute run) hits both
-        // equally — arm-after-arm ordering showed a phantom ±10% skew on
-        // whichever arm ran second:
+        // Three arms, INTERLEAVED rep-by-rep so the shared-host clock
+        // drift (turbo decay / CPU-credit burn over an 8-minute run) hits
+        // all equally — arm-after-arm ordering showed a phantom ±10% skew
+        // on whichever arm ran second:
         //   scalar — hash kernels pinned to their scalar arm: exactly the
         //            PR-1 pipeline, the reference the SIMD gain is quoted
         //            over;
-        //   simd   — default dispatch (AVX2 cap; see simd::active_level).
+        //   simd   — default dispatch (AVX2 cap; see simd::active_level);
+        //   engine — the SPSC owner engine, default dispatch: its gain
+        //            over `simd` isolates the mutex-vs-lock-free delta.
         double scalar_cps = 0;
         double batch_cps = 0;
+        double engine_cps = 0;
         for (int rep = 0; rep < kReps; ++rep) {
           hashing::simd::set_level_override(hashing::simd::Level::kScalar);
           d.reset();
@@ -220,20 +259,27 @@ int main(int argc, char** argv) {
           hashing::simd::clear_level_override();
           d.reset();
           batch_cps = std::max(batch_cps, run_batch(d, ids));
+          e.reset();
+          engine_cps = std::max(engine_cps, run_batch(e, ids));
         }
 
         const double scalar_speedup = scalar_cps / offer_cps;
         const double speedup = batch_cps / offer_cps;
         const double simd_gain = batch_cps / scalar_cps;
+        const double engine_gain = engine_cps / batch_cps;
         std::printf("%6s %7zu %8s %8zu %12.3f %9.2f %9s\n", algo.name,
                     shards, "batch-s", threads, scalar_cps / 1e6,
                     scalar_speedup, "1.00");
         std::printf("%6s %7zu %8s %8zu %12.3f %9.2f %9.2f\n", algo.name,
                     shards, "batch", threads, batch_cps / 1e6, speedup,
                     simd_gain);
+        std::printf("%6s %7zu %8s %8zu %12.3f %9.2f %9.2f\n", algo.name,
+                    shards, "engine", threads, engine_cps / 1e6,
+                    engine_cps / offer_cps, engine_gain);
         json.add(algo.name, {{"shards", static_cast<double>(shards)},
                              {"mode_batch", 1},
                              {"simd", 0},
+                             {"engine", 0},
                              {"threads", static_cast<double>(threads)},
                              {"clicks", static_cast<double>(ids.size())},
                              {"mclicks_per_s", scalar_cps / 1e6},
@@ -241,14 +287,40 @@ int main(int argc, char** argv) {
         json.add(algo.name, {{"shards", static_cast<double>(shards)},
                              {"mode_batch", 1},
                              {"simd", 1},
+                             {"engine", 0},
                              {"threads", static_cast<double>(threads)},
                              {"clicks", static_cast<double>(ids.size())},
                              {"mclicks_per_s", batch_cps / 1e6},
                              {"speedup_vs_mutex_offer", speedup},
                              {"simd_gain_vs_scalar_batch", simd_gain}});
+        json.add(algo.name, {{"shards", static_cast<double>(shards)},
+                             {"mode_batch", 1},
+                             {"simd", 1},
+                             {"engine", 1},
+                             {"threads", static_cast<double>(threads)},
+                             {"clicks", static_cast<double>(ids.size())},
+                             {"mclicks_per_s", engine_cps / 1e6},
+                             {"speedup_vs_mutex_offer",
+                              engine_cps / offer_cps},
+                             {"engine_gain_vs_mutex_batch", engine_gain}});
+        if (check_floor && threads >= 4 && engine_gain < 1.3) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "%s shards=%zu threads=%zu: engine %.2fx mutex "
+                        "batch (floor 1.30x)",
+                        algo.name, shards, threads, engine_gain);
+          floor_violations.emplace_back(buf);
+        }
       }
     }
   }
   json.write();
+  if (!floor_violations.empty()) {
+    std::fprintf(stderr, "\nengine regression floor FAILED:\n");
+    for (const auto& v : floor_violations) {
+      std::fprintf(stderr, "  %s\n", v.c_str());
+    }
+    return 1;
+  }
   return 0;
 }

@@ -123,7 +123,8 @@ BENCHMARK(BM_ExactJumpingOffer);
 
 // BENCHMARK_MAIN() plus --json=<path>: the Theorem 1 series lands in the
 // same machine-readable trajectory as BENCH_sharded_throughput.json.
+// --threads is rejected: these loops are single-threaded by design.
 int main(int argc, char** argv) {
-  return ppc::benchutil::gbench_main_with_json(argc, argv,
-                                               "thm1_gbf_throughput");
+  return ppc::benchutil::gbench_main_with_json(
+      argc, argv, "thm1_gbf_throughput", /*allow_threads=*/false);
 }

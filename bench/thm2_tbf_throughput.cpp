@@ -116,7 +116,8 @@ BENCHMARK(BM_TbfOffer_JumpingLargeQ)->Arg(256)->Arg(1024)->Arg(4096);
 
 // BENCHMARK_MAIN() plus --json=<path>: the Theorem 2 series lands in the
 // same machine-readable trajectory as BENCH_sharded_throughput.json.
+// --threads is rejected: these loops are single-threaded by design.
 int main(int argc, char** argv) {
-  return ppc::benchutil::gbench_main_with_json(argc, argv,
-                                               "thm2_tbf_throughput");
+  return ppc::benchutil::gbench_main_with_json(
+      argc, argv, "thm2_tbf_throughput", /*allow_threads=*/false);
 }

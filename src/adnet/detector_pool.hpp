@@ -15,7 +15,11 @@
 // offer_batch upholds that contract structurally (each ad's group is one
 // task); callers mixing concurrent offer() calls must either partition ads
 // across threads or install thread-safe detectors via the factory (e.g.
-// core::ShardedDetector).
+// core::ShardedDetector). With ENGINE-mode ShardedDetectors (see
+// sharded_engine_factory below) every per-ad detector is individually
+// thread-safe — offers become ring posts to the ad's owner threads — so
+// concurrent offer() for the same ad is fine and the pool's batch path is
+// a pure producer: its tasks never take a shard lock, only lease lanes.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "core/duplicate_detector.hpp"
+#include "core/sharded_detector.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ppc::adnet {
@@ -216,5 +221,37 @@ class DetectorPool {
       detectors_;
   std::size_t memory_bits_ = 0;
 };
+
+/// Wraps a per-shard detector factory into a DetectorPool factory that
+/// builds an ENGINE-mode core::ShardedDetector per ad: each ad's clicks are
+/// partitioned over `shards` inner detectors drained by `owner_threads`
+/// lock-free owner threads, making the per-ad detector individually
+/// thread-safe (concurrent offer()/offer_batch() for one ad is allowed).
+///
+/// Every pooled ad spawns its own owner threads, so this is sized for a
+/// HANDFUL of hot ads (the premium campaigns whose click rate saturates one
+/// core), not for a long tail — give tail ads a plain single-threaded
+/// factory and a second pool. `shard_factory(ad_id, shard)` builds the
+/// inner detector; size count-based windows at window / shards.
+inline DetectorPool::Factory sharded_engine_factory(
+    std::function<std::unique_ptr<core::DuplicateDetector>(
+        std::uint32_t ad_id, std::size_t shard)>
+        shard_factory,
+    std::size_t shards, std::size_t owner_threads) {
+  if (!shard_factory) {
+    throw std::invalid_argument(
+        "sharded_engine_factory: shard_factory required");
+  }
+  return [shard_factory = std::move(shard_factory), shards,
+          owner_threads](std::uint32_t ad_id) {
+    core::ShardedDetector::Options opts;
+    opts.threads = owner_threads;
+    opts.engine = core::ShardedDetector::EngineMode::kSpscOwner;
+    return std::make_unique<core::ShardedDetector>(
+        shards,
+        [&](std::size_t shard) { return shard_factory(ad_id, shard); },
+        opts);
+  };
+}
 
 }  // namespace ppc::adnet

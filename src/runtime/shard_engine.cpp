@@ -1,0 +1,215 @@
+#include "runtime/shard_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
+
+namespace ppc::runtime {
+
+namespace {
+
+/// One step of the producer-side backoff ladder: a pipeline-friendly pause
+/// while the wait is expected to be nanoseconds, a scheduler yield once it
+/// is not (essential on machines with fewer cores than threads, where
+/// spinning would starve the very owner being waited on).
+inline void backoff(std::size_t tries) noexcept {
+  if (tries < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+/// Spin budget before an idle owner starts yielding, and yield budget
+/// before it parks on its condvar.
+constexpr std::size_t kOwnerSpinPolls = 256;
+constexpr std::size_t kOwnerYieldPolls = 64;
+
+}  // namespace
+
+ShardEngine::ShardEngine(const Options& opts)
+    : shards_(opts.shards),
+      lanes_(opts.lanes == 0 ? 16 : opts.lanes),
+      pin_owners_(opts.pin_owners),
+      drain_(opts.drain),
+      ctx_(opts.ctx) {
+  if (opts.shards == 0 || opts.owners == 0) {
+    throw std::invalid_argument("ShardEngine: shards and owners must be >= 1");
+  }
+  if (drain_ == nullptr) {
+    throw std::invalid_argument("ShardEngine: drain callback required");
+  }
+  const std::size_t owners = std::min(opts.owners, opts.shards);
+  rings_.reserve(lanes_ * owners);
+  for (std::size_t i = 0; i < lanes_ * owners; ++i) {
+    rings_.push_back(
+        std::make_unique<SpscRing<ShardEngineMsg>>(opts.ring_capacity));
+  }
+  lane_busy_ = std::make_unique<Lane[]>(lanes_);
+  owners_.reserve(owners);
+  for (std::size_t o = 0; o < owners; ++o) {
+    owners_.push_back(std::make_unique<OwnerCtl>());
+  }
+  // Spawn only after every ring and control block exists: owners scan the
+  // full matrix from their first poll.
+  for (std::size_t o = 0; o < owners; ++o) {
+    owners_[o]->thread = std::thread([this, o] { owner_loop(o); });
+  }
+}
+
+ShardEngine::~ShardEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (const auto& ctl : owners_) {
+    {
+      const std::lock_guard<std::mutex> lock(ctl->m);
+      ++ctl->epoch;
+    }
+    ctl->cv.notify_one();
+  }
+  for (const auto& ctl : owners_) ctl->thread.join();
+}
+
+std::size_t ShardEngine::acquire_lane() noexcept {
+  // Start the scan at a per-thread salt so concurrent producers spread
+  // across lanes instead of all hammering lane 0's flag.
+  static thread_local const std::size_t salt =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::size_t tries = 0;
+  for (;;) {
+    for (std::size_t k = 0; k < lanes_; ++k) {
+      const std::size_t lane = (salt + k) % lanes_;
+      std::atomic<bool>& busy = lane_busy_[lane].busy;
+      if (!busy.load(std::memory_order_relaxed) &&
+          !busy.exchange(true, std::memory_order_acquire)) {
+        return lane;
+      }
+    }
+    backoff(tries++);
+  }
+}
+
+void ShardEngine::release_lane(std::size_t lane) noexcept {
+  lane_busy_[lane].busy.store(false, std::memory_order_release);
+}
+
+void ShardEngine::post(std::size_t lane, std::size_t owner,
+                       const ShardEngineMsg& msg) {
+  SpscRing<ShardEngineMsg>& r = ring(lane, owner);
+  std::size_t tries = 0;
+  while (!r.try_push(msg)) backoff(tries++);  // full: owner is draining
+  // Wake-if-parked handshake. The seq_cst fences order our push against
+  // the owner's parked flag exactly opposite to the owner's
+  // park-then-recheck sequence, so at least one side observes the other;
+  // the owner's bounded wait_for covers the (impossible by this argument,
+  // cheap to insure anyway) missed-wake case.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  OwnerCtl& ctl = *owners_[owner];
+  if (ctl.parked.load(std::memory_order_relaxed)) {
+    {
+      const std::lock_guard<std::mutex> lock(ctl.m);
+      ++ctl.epoch;
+    }
+    ctl.cv.notify_one();
+  }
+}
+
+void ShardEngine::wait(const std::atomic<std::size_t>& done) noexcept {
+  std::size_t tries = 0;
+  while (done.load(std::memory_order_acquire) != 0) backoff(tries++);
+}
+
+void ShardEngine::broadcast_control(void (*fn)(void* ctx, std::size_t owner),
+                                    void* ctx) {
+  const std::size_t lane = acquire_lane();
+  std::atomic<std::size_t> pending{owners_.size()};
+  ShardEngineMsg msg;
+  msg.control = fn;
+  msg.control_ctx = ctx;
+  msg.done = &pending;
+  for (std::size_t o = 0; o < owners_.size(); ++o) post(lane, o, msg);
+  wait(pending);
+  release_lane(lane);
+}
+
+bool ShardEngine::drain_owner_rings(std::size_t owner, bool stopping) {
+  bool any = false;
+  ShardEngineMsg msg;
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    SpscRing<ShardEngineMsg>& r = ring(lane, owner);
+    while (r.try_pop(msg)) {
+      any = true;
+      if (msg.control != nullptr) {
+        if (!stopping) msg.control(msg.control_ctx, owner);
+      } else {
+        drain_(ctx_, msg);
+      }
+      if (msg.done != nullptr) {
+        msg.done->fetch_sub(1, std::memory_order_release);
+      }
+    }
+  }
+  return any;
+}
+
+bool ShardEngine::owner_has_work(std::size_t owner) const noexcept {
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    if (!ring(lane, owner).empty()) return true;
+  }
+  return false;
+}
+
+void ShardEngine::owner_loop(std::size_t owner) {
+  if (pin_owners_) {
+    ThreadPool::pin_current_thread(owner % ThreadPool::hardware_threads());
+  }
+  OwnerCtl& ctl = *owners_[owner];
+  std::size_t idle = 0;
+  for (;;) {
+    if (drain_owner_rings(owner, /*stopping=*/false)) {
+      idle = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Late messages from a misbehaving producer must not hang its wait
+      // forever: complete them (control bodies are skipped — their ctx may
+      // already be gone) and exit.
+      drain_owner_rings(owner, /*stopping=*/true);
+      return;
+    }
+    ++idle;
+    if (idle <= kOwnerSpinPolls) {
+      backoff(0);
+      continue;
+    }
+    if (idle <= kOwnerSpinPolls + kOwnerYieldPolls) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park. Same fence discipline as post(): flag up, fence, recheck, and
+    // only then sleep — bounded, so even a missed edge costs ≤ 1ms.
+    ctl.parked.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (owner_has_work(owner) || stop_.load(std::memory_order_relaxed)) {
+      ctl.parked.store(false, std::memory_order_relaxed);
+      idle = 0;
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(ctl.m);
+      const std::uint64_t seen = ctl.epoch;
+      ctl.cv.wait_for(lock, std::chrono::milliseconds(1),
+                      [&] { return ctl.epoch != seen; });
+    }
+    ctl.parked.store(false, std::memory_order_relaxed);
+    idle = 0;
+  }
+}
+
+}  // namespace ppc::runtime

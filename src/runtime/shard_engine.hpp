@@ -1,0 +1,171 @@
+// ShardEngine: the lock-free single-writer execution core behind
+// core::ShardedDetector's engine mode.
+//
+// Topology (README "Scaling out" has the picture):
+//
+//   producers ──► lanes × owners matrix of bounded SpscRings ──► owners
+//
+//  * OWNERS are long-lived threads, each pinned to a contiguous range of
+//    shards (owner_of() is monotone, so a shard — and therefore a click
+//    key — always maps to the same owner). An owner is the ONLY thread
+//    that ever touches its shards' filter state, so draining a batch needs
+//    no mutex and no atomic RMW on the data path: the per-shard mutex
+//    fence of the mutex path disappears entirely.
+//  * PRODUCERS are whoever calls offer/offer_batch. A producer leases one
+//    LANE (a private row of SPSC rings, one ring per owner) for the
+//    duration of a call, posts one message per touched shard, and
+//    spin-then-yield waits on a stack-local completion counter that owners
+//    decrement with a release fetch_sub. Lane leasing is the only
+//    test-and-set in the system and it is once per *batch*, not per click.
+//  * BACKPRESSURE: a full ring makes the producer spin-then-yield until
+//    the owner drains — bounded memory, no allocation, no blocking
+//    syscall on the hot path.
+//  * CONTROL messages (reset, counter install/fold — and semantically any
+//    time advance) travel IN-BAND through the same rings, so they are
+//    totally ordered with the batches around them on every owner: a
+//    control broadcast behaves exactly like a point in the sequential
+//    replay, which is what keeps engine verdicts bit-identical to the
+//    mutex path.
+//  * IDLE owners park on a condvar after a spin/yield ladder; producers
+//    only touch the condvar when they observed the owner parked (seq_cst
+//    flag handshake + a bounded wait_for as belt and braces), so a loaded
+//    engine never pays a futex wake.
+//
+// The engine is payload-agnostic: messages carry raw pointers plus a drain
+// callback supplied at construction, keeping ppc::runtime free of any
+// dependency on the detector types.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/spsc_ring.hpp"
+
+namespace ppc::runtime {
+
+/// One unit of owner work. Batch messages (control == nullptr) describe a
+/// shard-contiguous run of keys whose verdicts go to `out`; control
+/// messages invoke `control(control_ctx, owner)` on the owner thread.
+/// Either way the owner finishes by decrementing `done` with release
+/// semantics, which is the producer's only completion signal AND the
+/// happens-before edge that publishes the owner's writes back to it.
+struct ShardEngineMsg {
+  const std::uint64_t* keys = nullptr;   ///< batch: ids, shard-contiguous
+  const std::uint64_t* times = nullptr;  ///< batch: per-key stamps (optional)
+  bool* out = nullptr;                   ///< batch: verdict slots
+  std::atomic<std::size_t>* done = nullptr;  ///< completion counter
+  std::uint64_t time_us = 0;             ///< batch: scalar stamp fallback
+  std::uint32_t shard = 0;               ///< batch: target shard
+  std::uint32_t count = 0;               ///< batch: number of keys
+  void (*control)(void* ctx, std::size_t owner) = nullptr;
+  void* control_ctx = nullptr;
+};
+
+class ShardEngine {
+ public:
+  /// Drains one batch message; runs on the owner thread that owns
+  /// msg.shard, with exclusive ownership of that shard's state.
+  using DrainFn = void (*)(void* ctx, const ShardEngineMsg& msg);
+
+  struct Options {
+    std::size_t shards = 1;  ///< shard id space (for the owner mapping)
+    std::size_t owners = 1;  ///< owner threads (clamped to shards)
+    /// Concurrent producer lanes; more lanes = more producers posting
+    /// without waiting for a lease. 0 picks a default (16).
+    std::size_t lanes = 0;
+    std::size_t ring_capacity = 64;  ///< per-ring, rounded up to pow2
+    /// Pin owner o to CPU o mod hardware_threads() — the hook NUMA-aware
+    /// placement will extend (see ROADMAP).
+    bool pin_owners = false;
+    DrainFn drain = nullptr;
+    void* ctx = nullptr;
+  };
+
+  explicit ShardEngine(const Options& opts);
+  /// Joins the owners. All producers must have returned; residual
+  /// messages are drained before the owners exit.
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  std::size_t owner_count() const noexcept { return owners_.size(); }
+  std::size_t lane_count() const noexcept { return lanes_; }
+
+  /// Monotone shard → owner mapping (contiguous ranges, balanced to ±1
+  /// shard): owner_of(s) = ⌊s·O/S⌋.
+  std::size_t owner_of(std::size_t shard) const noexcept {
+    return shard * owners_.size() / shards_;
+  }
+  /// [first, last) shard range owned by `owner`.
+  std::pair<std::size_t, std::size_t> owner_shard_range(
+      std::size_t owner) const noexcept {
+    const std::size_t o = owners_.size();
+    return {(owner * shards_ + o - 1) / o, ((owner + 1) * shards_ + o - 1) / o};
+  }
+
+  /// Leases a free producer lane (spins-then-yields when every lane is in
+  /// use). Pair with release_lane; one lease per offer/offer_batch call.
+  std::size_t acquire_lane() noexcept;
+  void release_lane(std::size_t lane) noexcept;
+
+  /// Posts a message to `owner` on the leased `lane`, blocking (spin,
+  /// then yield) while that ring is full, and waking the owner if it
+  /// parked. The pointed-to payload must stay alive until `msg.done`
+  /// reaches zero.
+  void post(std::size_t lane, std::size_t owner, const ShardEngineMsg& msg);
+
+  /// Producer-side completion wait: spins briefly, then yields, until the
+  /// counter the owners decrement hits zero. The acquire load pairs with
+  /// the owners' release fetch_sub, so every verdict written on an owner
+  /// thread is visible to the caller afterwards.
+  static void wait(const std::atomic<std::size_t>& done) noexcept;
+
+  /// Posts a control message to EVERY owner on a freshly leased lane and
+  /// waits for all of them — an in-band barrier: each owner runs `fn`
+  /// after every batch it received before the broadcast and before any it
+  /// receives after.
+  void broadcast_control(void (*fn)(void* ctx, std::size_t owner), void* ctx);
+
+ private:
+  /// Park/wake state, one cache line per owner.
+  struct alignas(64) OwnerCtl {
+    std::mutex m;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;  ///< guarded by m; bumped per wake
+    std::atomic<bool> parked{false};
+    std::thread thread;
+  };
+  struct alignas(64) Lane {
+    std::atomic<bool> busy{false};
+  };
+
+  void owner_loop(std::size_t owner);
+  bool drain_owner_rings(std::size_t owner, bool stopping);
+  bool owner_has_work(std::size_t owner) const noexcept;
+
+  SpscRing<ShardEngineMsg>& ring(std::size_t lane,
+                                 std::size_t owner) const noexcept {
+    return *rings_[lane * owners_.size() + owner];
+  }
+
+  const std::size_t shards_;
+  const std::size_t lanes_;
+  const bool pin_owners_;
+  const DrainFn drain_;
+  void* const ctx_;
+
+  std::vector<std::unique_ptr<SpscRing<ShardEngineMsg>>> rings_;
+  std::unique_ptr<Lane[]> lane_busy_;
+  std::vector<std::unique_ptr<OwnerCtl>> owners_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace ppc::runtime

@@ -1,0 +1,102 @@
+// SpscRing: a bounded single-producer / single-consumer ring buffer — the
+// only queue primitive the lock-free shard engine needs.
+//
+// Exactly one thread may call try_push (the producer) and exactly one may
+// call try_pop (the consumer); under that contract every operation is a
+// handful of plain loads/stores plus ONE acquire or release on the
+// published index — no mutex, no CAS loop, no fence on the fast path:
+//
+//  * the producer publishes a slot with a release store of tail_, so the
+//    consumer's acquire load of tail_ makes the slot's contents visible;
+//  * the consumer retires a slot with a release store of head_, so the
+//    producer's acquire load of head_ knows the slot is reusable;
+//  * head_ and tail_ live on their own cache lines, each next to the
+//    OTHER side's cached copy of it (the classic Lamport-queue layout):
+//    steady-state push/pop touch only their own line and re-read the
+//    remote index just once per wraparound, not once per element.
+//
+// Capacity is rounded up to a power of two so the index math is a mask.
+// Indices are free-running 64-bit counters (never wrapped back), which
+// makes full/empty tests immune to index wraparound for any realistic
+// lifetime. Destroying a ring with elements still inside is well-defined:
+// the slot array owns its elements, so residue is destroyed with it
+// (tests/spsc_ring_test.cpp pins this down with reference counts).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ppc::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// @param capacity  minimum element capacity (≥ 1); rounded up to a
+  ///                  power of two.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        slots_(std::make_unique<T[]>(mask_ + 1)) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full (the caller
+  /// decides the backpressure policy — the engine spins-then-yields).
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {  // full against the cached head?
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;  // really full
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty. The slot is
+  /// moved from (so non-trivial payloads release their resources as soon
+  /// as they are consumed, not when the slot is overwritten).
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // really empty
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (used by the engine's park-check; the
+  /// producer must not rely on it).
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t mask_;
+  const std::unique_ptr<T[]> slots_;
+
+  /// Consumer line: the index the consumer advances plus its cached view
+  /// of the producer's tail.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+
+  /// Producer line, one cache line away from the consumer's.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+};
+
+}  // namespace ppc::runtime

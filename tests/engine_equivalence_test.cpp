@@ -1,0 +1,331 @@
+// Engine-mode equivalence: ShardedDetector's lock-free owner-pinned SPSC
+// engine must yield verdicts BIT-IDENTICAL to the per-shard-mutex path and
+// to a sequential replay — for GBF count windows and TBF time windows,
+// through every offer surface (single clicks, scalar-time batches,
+// per-click-timestamp batches with interleaved time advances), with op
+// accounting and reset broadcasts behaving identically too.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adnet/detector_pool.hpp"
+#include "core/detector_factory.hpp"
+#include "core/group_bloom_filter.hpp"
+#include "core/sharded_detector.hpp"
+#include "core/timing_bloom_filter.hpp"
+#include "detector_test_util.hpp"
+#include "stream/rng.hpp"
+#include "stream/zipf.hpp"
+
+namespace ppc::core {
+namespace {
+
+constexpr std::size_t kShards = 8;
+
+ShardedDetector::Options engine_opts(std::size_t threads) {
+  return {.threads = threads,
+          .engine = ShardedDetector::EngineMode::kSpscOwner};
+}
+
+ShardedDetector::Factory gbf_factory() {
+  return [](std::size_t) {
+    GroupBloomFilter::Options opts;
+    opts.bits_per_subfilter = 1 << 14;
+    opts.hash_count = 5;
+    opts.seed = 7;
+    return std::make_unique<GroupBloomFilter>(
+        WindowSpec::jumping_count(4096 / kShards, 8), opts);
+  };
+}
+
+ShardedDetector::Factory tbf_factory() {
+  return [](std::size_t) {
+    TimingBloomFilter::Options opts;
+    opts.entries = 1 << 14;
+    opts.hash_count = 5;
+    opts.seed = 9;
+    return std::make_unique<TimingBloomFilter>(
+        WindowSpec::sliding_time(5'000'000, 10'000), opts);
+  };
+}
+
+/// Zipf-duplicate-heavy click stream (the adversarial routing case: hot
+/// keys hammer one owner while cold keys spread out).
+std::vector<ClickId> zipf_stream(std::size_t n, std::uint64_t seed) {
+  stream::Rng rng(seed);
+  const stream::ZipfSampler zipf(1 << 14, 1.05);
+  std::vector<ClickId> ids(n);
+  for (auto& id : ids) id = 0x1000 + zipf.sample(rng);
+  return ids;
+}
+
+/// Monotone timestamps with same-unit runs, sub-unit jitter and idle gaps,
+/// so timed batches straddle window advances (see batch_times_test).
+std::vector<std::uint64_t> make_times(std::size_t n, std::uint64_t unit_us,
+                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> times(n);
+  stream::Rng rng(seed);
+  std::uint64_t t = 1'000'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.05)) {
+      t += unit_us * (1 + rng.below(30));
+    } else if (rng.chance(0.5)) {
+      t += rng.below(unit_us);
+    }
+    times[i] = t;
+  }
+  return times;
+}
+
+/// Drives `ids` through `d` in batches of `batch_len`, returning verdicts
+/// in caller order. With `times`, uses the per-click-timestamp overload;
+/// otherwise stamps batch b with time_of_batch(b) (0 when null).
+std::vector<bool> run_batches(
+    ShardedDetector& d, const std::vector<ClickId>& ids,
+    const std::vector<std::uint64_t>* times, std::size_t batch_len,
+    std::uint64_t (*time_of_batch)(std::size_t) = nullptr) {
+  std::vector<bool> got(ids.size());
+  std::vector<char> buf(batch_len);
+  for (std::size_t off = 0; off < ids.size(); off += batch_len) {
+    const std::size_t n = std::min(batch_len, ids.size() - off);
+    const std::span<bool> out(reinterpret_cast<bool*>(buf.data()), n);
+    const std::span<const ClickId> in(ids.data() + off, n);
+    if (times != nullptr) {
+      d.offer_batch(in,
+                    std::span<const std::uint64_t>(times->data() + off, n),
+                    out);
+    } else {
+      d.offer_batch(in, out,
+                    time_of_batch ? time_of_batch(off / batch_len) : 0);
+    }
+    for (std::size_t j = 0; j < n; ++j) got[off + j] = buf[j] != 0;
+  }
+  return got;
+}
+
+TEST(EngineEquivalence, ModeSelectionAndIntrospection) {
+  EXPECT_FALSE(
+      ShardedDetector::engine_mode_enabled(ShardedDetector::EngineMode::kMutex));
+  EXPECT_TRUE(ShardedDetector::engine_mode_enabled(
+      ShardedDetector::EngineMode::kSpscOwner));
+  ShardedDetector mtx(kShards, gbf_factory(),
+                      {.threads = 2,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  EXPECT_FALSE(mtx.engine_mode());
+  ShardedDetector eng(kShards, gbf_factory(), engine_opts(4));
+  EXPECT_TRUE(eng.engine_mode());
+  EXPECT_EQ(eng.thread_count(), 4u);
+  EXPECT_EQ(eng.name(), mtx.name());  // engine is invisible in the name
+  // Owners clamp to the shard count.
+  ShardedDetector wide(2, gbf_factory(), engine_opts(16));
+  EXPECT_EQ(wide.thread_count(), 2u);
+  EXPECT_THROW(ShardedDetector(kShards, gbf_factory(), engine_opts(0)),
+               std::invalid_argument);
+}
+
+TEST(EngineEquivalence, GbfCountWindowMatchesSequentialMutex) {
+  const auto ids = zipf_stream(20000, 101);
+  // Sequential reference: mutex path, one click at a time.
+  ShardedDetector seq(kShards, gbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) expected[i] = seq.offer(ids[i]);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ShardedDetector eng(kShards, gbf_factory(), engine_opts(threads));
+    const auto got = run_batches(eng, ids, nullptr, 509);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i])
+          << "owners=" << threads << " diverged at " << i;
+    }
+  }
+}
+
+TEST(EngineEquivalence, TbfTimedBatchesMatchSequentialReplay) {
+  const auto ids = zipf_stream(16000, 202);
+  const auto times = make_times(ids.size(), 10'000, 67);
+  // Sequential replay with per-click timestamps: every advance the engine
+  // sees in-band, the reference sees as offer(id, t).
+  ShardedDetector seq(kShards, tbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq.offer(ids[i], times[i]);
+  }
+
+  for (const std::size_t threads : {2u, 4u}) {
+    ShardedDetector eng(kShards, tbf_factory(), engine_opts(threads));
+    const auto got = run_batches(eng, ids, &times, 251);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(got[i], expected[i])
+          << "owners=" << threads << " diverged at " << i;
+    }
+  }
+}
+
+TEST(EngineEquivalence, ScalarTimeBatchesAdvanceOwnersInBand) {
+  // Batch b carries one timestamp; owners must apply it before draining
+  // the batch, exactly like the mutex path's locked offer_batch does.
+  const auto ids = zipf_stream(12000, 303);
+  constexpr std::size_t kBatchLen = 256;
+  const auto time_of_batch = [](std::size_t b) {
+    return 1'000'000 + 20'000 * static_cast<std::uint64_t>(b);
+  };
+  ShardedDetector seq(kShards, tbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq.offer(ids[i], time_of_batch(i / kBatchLen));
+  }
+  ShardedDetector eng(kShards, tbf_factory(), engine_opts(4));
+  const auto got = run_batches(eng, ids, nullptr, kBatchLen, +time_of_batch);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "diverged at " << i;
+  }
+}
+
+TEST(EngineEquivalence, SingleClickOfferRoutesThroughRings) {
+  const auto ids = zipf_stream(4000, 404);
+  ShardedDetector seq(kShards, tbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  ShardedDetector eng(kShards, tbf_factory(), engine_opts(3));
+  std::uint64_t t = 1'000'000;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    t += 1 + i % 700;
+    ASSERT_EQ(eng.offer(ids[i], t), seq.offer(ids[i], t))
+        << "diverged at " << i;
+  }
+}
+
+TEST(EngineEquivalence, SingleShardEngineUsesCallerSpansDirectly) {
+  const auto ids = zipf_stream(6000, 505);
+  const auto times = make_times(ids.size(), 10'000, 71);
+  ShardedDetector seq(1, tbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq.offer(ids[i], times[i]);
+  }
+  ShardedDetector eng(1, tbf_factory(), engine_opts(1));
+  const auto got = run_batches(eng, ids, &times, 509);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "diverged at " << i;
+  }
+}
+
+TEST(EngineEquivalence, OpTotalsFoldMatchesMutexPath) {
+  const auto ids = zipf_stream(8000, 606);
+  OpCounter mutex_ops, engine_ops;
+  ShardedDetector mtx(kShards, gbf_factory(),
+                      {.threads = 1,
+                       .engine = ShardedDetector::EngineMode::kMutex});
+  mtx.set_op_counter(&mutex_ops);
+  run_batches(mtx, ids, nullptr, 509);
+  mtx.op_totals();
+
+  ShardedDetector eng(kShards, gbf_factory(), engine_opts(4));
+  eng.set_op_counter(&engine_ops);
+  run_batches(eng, ids, nullptr, 509);
+  eng.op_totals();
+
+  EXPECT_GT(engine_ops.total(), 0u);
+  EXPECT_EQ(engine_ops.word_reads.value(), mutex_ops.word_reads.value());
+  EXPECT_EQ(engine_ops.word_writes.value(), mutex_ops.word_writes.value());
+  EXPECT_EQ(engine_ops.hash_evals.value(), mutex_ops.hash_evals.value());
+  EXPECT_EQ(engine_ops.total(), mutex_ops.total());
+}
+
+TEST(EngineEquivalence, ResetBroadcastClearsEveryOwnerShard) {
+  ShardedDetector eng(kShards, gbf_factory(), engine_opts(3));
+  const auto ids = zipf_stream(4000, 707);
+  run_batches(eng, ids, nullptr, 256);
+  eng.reset();
+  // After the in-band reset every shard must be empty again: fresh
+  // uniques are non-duplicates, and an immediate re-offer is caught.
+  EXPECT_FALSE(eng.offer(0xdead0001));
+  EXPECT_TRUE(eng.offer(0xdead0001));
+}
+
+TEST(EngineEquivalence, ConcurrentProducersPreserveZeroFalseNegatives) {
+  // Many producer threads posting disjoint id ranges concurrently: order
+  // across producers is arbitrary, but every id was offered once, so a
+  // full sequential re-offer must flag EVERY id as a duplicate (zero
+  // false negatives survive concurrency).
+  ShardedDetector eng(kShards, tbf_factory(), engine_opts(4));
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&eng, p] {
+      std::vector<ClickId> ids(kPerProducer);
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ids[i] = (p << 32) | (i + 1);
+      }
+      std::vector<char> buf(kPerProducer);
+      eng.offer_batch(
+          std::span<const ClickId>(ids),
+          std::span<bool>(reinterpret_cast<bool*>(buf.data()), buf.size()),
+          1'000'000);
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::size_t caught = 0;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      caught += eng.offer((p << 32) | (i + 1), 1'000'001) ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(caught, kProducers * kPerProducer);
+}
+
+TEST(EngineEquivalence, DetectorPoolWithEngineFactoryMatchesSequential) {
+  // The pool convenience factory: every per-ad detector is an engine-mode
+  // ShardedDetector, so the pool batch path becomes a pure producer.
+  const auto make_inner = [](std::uint32_t ad, std::size_t) {
+    TimingBloomFilter::Options opts;
+    opts.entries = 1 << 12;
+    opts.hash_count = 5;
+    opts.seed = 11 + ad;
+    return std::make_unique<TimingBloomFilter>(
+        WindowSpec::sliding_time(5'000'000, 10'000), opts);
+  };
+  adnet::DetectorPool seq_pool(
+      [&](std::uint32_t ad) {
+        return std::make_unique<ShardedDetector>(
+            4, [&](std::size_t s) { return make_inner(ad, s); },
+            ShardedDetector::Options{
+                .threads = 1, .engine = ShardedDetector::EngineMode::kMutex});
+      });
+  adnet::DetectorPool eng_pool(adnet::sharded_engine_factory(
+      make_inner, /*shards=*/4, /*owner_threads=*/2));
+
+  stream::Rng rng(88);
+  const auto ids = zipf_stream(10000, 808);
+  const auto times = make_times(ids.size(), 10'000, 73);
+  std::vector<std::uint32_t> ad_ids(ids.size());
+  for (auto& ad : ad_ids) ad = static_cast<std::uint32_t>(rng.below(3));
+
+  std::vector<bool> expected(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expected[i] = seq_pool.offer(ad_ids[i], ids[i], times[i]);
+  }
+  std::vector<char> buf(ids.size());
+  eng_pool.offer_batch(
+      std::span<const std::uint32_t>(ad_ids), std::span<const ClickId>(ids),
+      std::span<const std::uint64_t>(times),
+      std::span<bool>(reinterpret_cast<bool*>(buf.data()), buf.size()));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(buf[i] != 0, expected[i]) << "diverged at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppc::core

@@ -1,0 +1,292 @@
+// Tests for the SPSC ring and the owner-pinned ShardEngine primitives that
+// core::ShardedDetector's lock-free engine mode is built from.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/shard_engine.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using ppc::runtime::ShardEngine;
+using ppc::runtime::ShardEngineMsg;
+using ppc::runtime::SpscRing;
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, PushPopIsFifo) {
+  SpscRing<int> ring(8);
+  for (int v = 0; v < 5; ++v) EXPECT_TRUE(ring.try_push(v));
+  for (int v = 0; v < 5; ++v) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, v);
+  }
+  int out;
+  EXPECT_FALSE(ring.try_pop(out));  // drained
+}
+
+TEST(SpscRing, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  int out;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int v = 0; v < 4; ++v) EXPECT_TRUE(ring.try_push(v));
+  EXPECT_FALSE(ring.try_push(99));  // full: capacity slots, no spare
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(99));  // one slot freed
+  EXPECT_FALSE(ring.try_push(100));
+}
+
+TEST(SpscRing, FifoAcrossManyWraparounds) {
+  SpscRing<std::uint64_t> ring(4);
+  std::uint64_t next_in = 0, next_out = 0;
+  // Irregular push/pop bursts force the indices through the wrap boundary
+  // hundreds of times.
+  for (int round = 0; round < 500; ++round) {
+    const int burst = 1 + round % 4;
+    for (int i = 0; i < burst; ++i) {
+      if (ring.try_push(next_in)) ++next_in;
+    }
+    for (int i = 0; i < 1 + (round % 3); ++i) {
+      std::uint64_t out;
+      if (ring.try_pop(out)) {
+        ASSERT_EQ(out, next_out);
+        ++next_out;
+      }
+    }
+  }
+  std::uint64_t out;
+  while (ring.try_pop(out)) {
+    ASSERT_EQ(out, next_out);
+    ++next_out;
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(SpscRing, PopMovesOutAndResidueDiesWithRing) {
+  const auto survivor = std::make_shared<int>(7);
+  const auto resident = std::make_shared<int>(9);
+  {
+    SpscRing<std::shared_ptr<int>> ring(4);
+    ASSERT_TRUE(ring.try_push(survivor));
+    ASSERT_TRUE(ring.try_push(resident));
+    std::shared_ptr<int> out;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out.get(), survivor.get());
+    out.reset();
+    // try_pop moves from the slot, so the ring must not still co-own it.
+    EXPECT_EQ(survivor.use_count(), 1);
+    EXPECT_EQ(resident.use_count(), 2);  // still queued
+  }
+  // Ring destruction releases un-popped residue.
+  EXPECT_EQ(resident.use_count(), 1);
+}
+
+TEST(SpscRing, TwoThreadStressKeepsOrderAndLosesNothing) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::atomic<bool> fail{false};
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    while (expected < kItems) {
+      std::uint64_t out;
+      if (ring.try_pop(out)) {
+        if (out != expected) {
+          fail.store(true);
+          return;
+        }
+        ++expected;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t v = 0; v < kItems; ++v) {
+    while (!ring.try_push(v)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- ShardEngine primitives ------------------------------------------------
+
+struct DrainLog {
+  std::atomic<std::uint64_t> keys_seen{0};
+  std::atomic<std::uint64_t> batches{0};
+};
+
+void counting_drain(void* ctx, const ShardEngineMsg& msg) {
+  auto* log = static_cast<DrainLog*>(ctx);
+  log->batches.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t sum = 0;
+  for (std::uint32_t i = 0; i < msg.count; ++i) {
+    sum += msg.keys[i];
+    msg.out[i] = true;
+  }
+  log->keys_seen.fetch_add(sum, std::memory_order_relaxed);
+}
+
+ShardEngine::Options engine_opts(DrainLog* log, std::size_t shards,
+                                 std::size_t owners) {
+  ShardEngine::Options opts;
+  opts.shards = shards;
+  opts.owners = owners;
+  opts.ring_capacity = 4;  // tiny ring exercises producer backpressure
+  opts.drain = &counting_drain;
+  opts.ctx = log;
+  return opts;
+}
+
+TEST(ShardEngine, OwnerMappingIsMonotoneAndCoversEveryShard) {
+  DrainLog log;
+  const ShardEngine engine(engine_opts(&log, 8, 3));
+  EXPECT_EQ(engine.owner_count(), 3u);
+  std::size_t prev = 0;
+  std::vector<bool> covered(8, false);
+  for (std::size_t s = 0; s < 8; ++s) {
+    const std::size_t o = engine.owner_of(s);
+    ASSERT_LT(o, engine.owner_count());
+    EXPECT_GE(o, prev);  // monotone → contiguous ranges
+    prev = o;
+    const auto [lo, hi] = engine.owner_shard_range(o);
+    EXPECT_GE(s, lo);
+    EXPECT_LT(s, hi);
+    covered[s] = true;
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+  // Ranges tile the shard space exactly.
+  std::size_t edge = 0;
+  for (std::size_t o = 0; o < engine.owner_count(); ++o) {
+    const auto [lo, hi] = engine.owner_shard_range(o);
+    EXPECT_EQ(lo, edge);
+    edge = hi;
+  }
+  EXPECT_EQ(edge, 8u);
+}
+
+TEST(ShardEngine, ClampsOwnersToShardCount) {
+  DrainLog log;
+  const ShardEngine engine(engine_opts(&log, 2, 16));
+  EXPECT_EQ(engine.owner_count(), 2u);
+}
+
+TEST(ShardEngine, PostDrainsThroughOwnerAndCompletes) {
+  DrainLog log;
+  ShardEngine engine(engine_opts(&log, 4, 2));
+  const std::uint64_t keys[3] = {10, 20, 30};
+  bool out[3] = {false, false, false};
+  std::atomic<std::size_t> pending{1};
+  ShardEngineMsg msg;
+  msg.keys = keys;
+  msg.out = out;
+  msg.done = &pending;
+  msg.shard = 3;
+  msg.count = 3;
+  const std::size_t lane = engine.acquire_lane();
+  engine.post(lane, engine.owner_of(3), msg);
+  ShardEngine::wait(pending);
+  engine.release_lane(lane);
+  EXPECT_EQ(log.keys_seen.load(), 60u);
+  EXPECT_TRUE(out[0] && out[1] && out[2]);
+}
+
+TEST(ShardEngine, BackpressureDeliversEveryMessageThroughTinyRings) {
+  DrainLog log;
+  ShardEngine engine(engine_opts(&log, 4, 1));  // capacity-4 ring, 1 owner
+  constexpr std::size_t kMsgs = 1000;
+  std::vector<std::uint64_t> keys(kMsgs, 1);
+  const std::unique_ptr<bool[]> out(new bool[kMsgs]());
+  std::atomic<std::size_t> pending{kMsgs};
+  const std::size_t lane = engine.acquire_lane();
+  for (std::size_t i = 0; i < kMsgs; ++i) {
+    ShardEngineMsg msg;
+    msg.keys = &keys[i];
+    msg.out = &out[i];
+    msg.done = &pending;
+    msg.shard = static_cast<std::uint32_t>(i % 4);
+    msg.count = 1;
+    engine.post(lane, engine.owner_of(msg.shard), msg);
+  }
+  ShardEngine::wait(pending);
+  engine.release_lane(lane);
+  EXPECT_EQ(log.keys_seen.load(), kMsgs);
+  EXPECT_EQ(log.batches.load(), kMsgs);
+}
+
+TEST(ShardEngine, BroadcastControlReachesEveryOwnerExactlyOnce) {
+  DrainLog log;
+  ShardEngine engine(engine_opts(&log, 8, 3));
+  std::vector<std::atomic<int>> hits(engine.owner_count());
+  for (auto& h : hits) h.store(0);
+  struct Ctx {
+    std::vector<std::atomic<int>>* hits;
+  } ctx{&hits};
+  engine.broadcast_control(
+      [](void* c, std::size_t owner) {
+        auto* ctx = static_cast<Ctx*>(c);
+        (*ctx->hits)[owner].fetch_add(1, std::memory_order_relaxed);
+      },
+      &ctx);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ShardEngine, ConcurrentProducersEachCompleteTheirOwnBatches) {
+  DrainLog log;
+  ShardEngine engine(engine_opts(&log, 4, 2));
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kPerProducer = 200;
+  std::vector<std::thread> producers;
+  std::atomic<std::uint64_t> completed{0};
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&engine, &completed, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t key = p * kPerProducer + i;
+        bool verdict = false;
+        std::atomic<std::size_t> pending{1};
+        ShardEngineMsg msg;
+        msg.keys = &key;
+        msg.out = &verdict;
+        msg.done = &pending;
+        msg.shard = static_cast<std::uint32_t>(key % 4);
+        msg.count = 1;
+        const std::size_t lane = engine.acquire_lane();
+        engine.post(lane, engine.owner_of(msg.shard), msg);
+        ShardEngine::wait(pending);
+        engine.release_lane(lane);
+        if (verdict) completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(completed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(log.batches.load(), kProducers * kPerProducer);
+}
+
+TEST(ThreadPool, PinCurrentThreadSmoke) {
+  // On Linux this pins to cpu % hardware_threads() and reports success;
+  // elsewhere it reports false. Either way it must not crash or hang.
+  const bool ok = ppc::runtime::ThreadPool::pin_current_thread(0);
+#if defined(__linux__)
+  EXPECT_TRUE(ok);
+#else
+  EXPECT_FALSE(ok);
+#endif
+}
+
+}  // namespace

@@ -2,14 +2,19 @@
 # Tier-1 verification plus the threading race gate.
 #
 #   1. regular build + full ctest suite (the ROADMAP tier-1 command);
-#   2. the same suite built with -DPPC_DISABLE_SIMD=ON — the scalar-only
+#   2. the same build + suite re-run with PPC_ENGINE_DEFAULT=ON, which
+#      flips every EngineMode::kAuto ShardedDetector onto the lock-free
+#      owner-pinned SPSC engine — the whole suite must pass in BOTH
+#      synchronization designs;
+#   3. the same suite built with -DPPC_DISABLE_SIMD=ON — the scalar-only
 #      escape hatch must stay green AND produce identical verdicts (the
 #      parity/equivalence tests run in both builds, so a divergence between
 #      the SIMD and scalar index kernels fails here);
-#   3. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
+#   4. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
 #      tests — sharded_test, runtime_test, parallel_batch_test,
-#      batch_times_test — so every PR touching the parallel ingestion
-#      paths gets a race check.
+#      batch_times_test, spsc_ring_test, engine_equivalence_test — so
+#      every PR touching the parallel ingestion paths gets a race check;
+#      the engine-sensitive ones run under TSan in both engine defaults.
 #
 # Usage: tools/check.sh [--tsan-only]
 set -euo pipefail
@@ -19,11 +24,21 @@ JOBS=$(nproc 2>/dev/null || echo 2)
 TSAN_ONLY=0
 [[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
 
+TSAN_TESTS=(sharded_test runtime_test parallel_batch_test batch_times_test
+            spsc_ring_test engine_equivalence_test)
+# Tests whose ShardedDetectors default to kAuto and therefore change
+# behaviour under PPC_ENGINE_DEFAULT=ON (the rest construct their mode
+# explicitly or don't touch ShardedDetector at all).
+ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test)
+
 if [[ "$TSAN_ONLY" == 0 ]]; then
   echo "== tier-1: build + ctest =="
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+
+  echo "== tier-1 (engine): same build, PPC_ENGINE_DEFAULT=ON ctest =="
+  (cd build && PPC_ENGINE_DEFAULT=ON ctest --output-on-failure -j "$JOBS")
 
   echo "== tier-1 (scalar): -DPPC_DISABLE_SIMD=ON build + ctest =="
   cmake -B build-nosimd -S . -DPPC_DISABLE_SIMD=ON \
@@ -35,10 +50,13 @@ fi
 echo "== race gate: TSan build of the concurrency tests =="
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
   -DPPC_BUILD_BENCH=OFF -DPPC_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j "$JOBS" \
-  --target sharded_test runtime_test parallel_batch_test batch_times_test
-for t in sharded_test runtime_test parallel_batch_test batch_times_test; do
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t"
+done
+for t in "${ENGINE_SENSITIVE_TESTS[@]}"; do
+  echo "-- $t (tsan, PPC_ENGINE_DEFAULT=ON)"
+  PPC_ENGINE_DEFAULT=ON ./build-tsan/tests/"$t"
 done
 echo "check.sh: all gates passed"
