@@ -1,0 +1,198 @@
+// End-to-end network ingest throughput vs the in-process ceiling.
+//
+// Two arms over the same Zipf click stream and the same per-ad detector
+// configuration (DetectorConfig defaults: jumping-count GBF):
+//   * inproc — clicks go straight into PoolSink::offer in micro-batches:
+//     the throughput ceiling with zero serialization, zero syscalls;
+//   * wire   — the same batches framed as CLICK_BATCH, sent over a real
+//     loopback TCP connection into an IngestServer running its epoll loop
+//     on a dedicated thread, with the client pipelining `inflight` frames
+//     and consuming every VERDICT_BATCH.
+// The gap between the arms is the cost of the network ingest subsystem
+// itself (framing + CRC + syscalls + loop scheduling), which is the number
+// this bench tracks across PRs. Batch size is swept because it is the
+// dominant amortizer: at 16 K clicks per frame the wire arm should sit
+// within a small factor of inproc; at 256 it is syscall-bound.
+//
+// BENCH_server_loopback.json is this bench's committed output
+// (--json=<path>), following the same JsonSeriesWriter + meta conventions
+// as BENCH_sharded_throughput.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adnet/detector_pool.hpp"
+#include "bench_util.hpp"
+#include "server/client.hpp"
+#include "server/ingest_server.hpp"
+#include "server/server_config.hpp"
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+
+using namespace ppc;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<server::wire::ClickRecord> make_clicks(std::size_t count) {
+  stream::MixedTrafficStream::Options opts;
+  opts.seed = 99;
+  stream::MixedTrafficStream gen(opts);
+  std::vector<server::wire::ClickRecord> clicks(count);
+  for (auto& rec : clicks) {
+    stream::Click c = gen.next();
+    c.ad_id = 1;  // one detector: both arms exercise one hot filter
+    rec = {c.ad_id, stream::click_identifier(c), c.time_us};
+  }
+  return clicks;
+}
+
+/// In-process ceiling: the same sink the server would drive, fed directly.
+double run_inproc(const server::DetectorConfig& cfg,
+                  const std::vector<server::wire::ClickRecord>& clicks,
+                  std::size_t batch, std::uint64_t& dups_out) {
+  adnet::DetectorPool pool(
+      [cfg](std::uint32_t) { return server::build_detector(cfg); });
+  server::PoolSink sink(pool);
+  std::vector<std::uint32_t> ads(batch);
+  std::vector<core::ClickId> ids(batch);
+  std::vector<std::uint64_t> times(batch);
+  std::vector<char> verdicts(batch);
+  std::uint64_t dups = 0;
+  const double t0 = now_s();
+  for (std::size_t off = 0; off < clicks.size(); off += batch) {
+    const std::size_t n = std::min(batch, clicks.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      ads[i] = clicks[off + i].ad_id;
+      ids[i] = clicks[off + i].click_id;
+      times[i] = clicks[off + i].t_us;
+    }
+    const std::span<bool> out(reinterpret_cast<bool*>(verdicts.data()), n);
+    sink.offer({ads.data(), n}, {ids.data(), n}, {times.data(), n}, out);
+    for (std::size_t i = 0; i < n; ++i) dups += out[i] ? 1 : 0;
+  }
+  const double dt = now_s() - t0;
+  dups_out = dups;
+  return dt;
+}
+
+/// Wire arm: one loopback connection, `inflight` CLICK_BATCH frames kept
+/// in flight, every verdict consumed and counted.
+double run_wire(const server::DetectorConfig& cfg,
+                const std::vector<server::wire::ClickRecord>& clicks,
+                std::size_t batch, std::size_t inflight,
+                std::uint64_t& dups_out) {
+  adnet::DetectorPool pool(
+      [cfg](std::uint32_t) { return server::build_detector(cfg); });
+  server::PoolSink sink(pool);
+  server::IngestServer ingest(sink);
+  const std::uint16_t port = ingest.listen("127.0.0.1", 0);
+  std::thread loop([&] { ingest.run(); });
+
+  server::BlockingClient client;
+  client.connect("127.0.0.1", port);
+  client.handshake();
+
+  std::uint64_t dups = 0;
+  std::size_t sent_frames = 0, recv_frames = 0;
+  std::uint64_t seq = 0;
+  std::size_t off = 0;
+  auto recv_one = [&] {
+    server::wire::FrameView frame;
+    if (!client.read_frame(frame) ||
+        frame.type != server::wire::FrameType::kVerdictBatch) {
+      throw std::runtime_error("server_loopback: expected VERDICT_BATCH");
+    }
+    server::wire::VerdictBatchView view;
+    std::string err;
+    if (!server::wire::parse_verdict_batch(frame.payload, view, err)) {
+      throw std::runtime_error("server_loopback: " + err);
+    }
+    for (std::uint32_t i = 0; i < view.count; ++i) {
+      dups += view.duplicate(i) ? 1 : 0;
+    }
+    ++recv_frames;
+  };
+  const double t0 = now_s();
+  while (off < clicks.size()) {
+    const std::size_t n = std::min(batch, clicks.size() - off);
+    client.send_click_batch(
+        seq++, {clicks.data() + off, n});
+    off += n;
+    ++sent_frames;
+    if (sent_frames - recv_frames >= inflight) recv_one();
+  }
+  while (recv_frames < sent_frames) recv_one();
+  const double dt = now_s() - t0;
+
+  ingest.stop();
+  loop.join();
+  ingest.drain();
+  client.close();
+  dups_out = dups;
+  return dt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::Args::parse(argc, argv);
+  const std::size_t total = static_cast<std::size_t>(
+      args.scaled(std::uint64_t{1} << 23));  // paper run: 8 M clicks
+
+  server::DetectorConfig cfg;
+  cfg.window = core::WindowSpec::jumping_count(args.scaled(1 << 22), 8);
+  cfg.memory_bits = args.scaled(std::uint64_t{1} << 25);
+
+  const auto clicks = make_clicks(total);
+  std::printf("server_loopback: %zu clicks, window %llu\n", total,
+              static_cast<unsigned long long>(cfg.window.length));
+
+  benchutil::JsonSeriesWriter json("server_loopback", args.json);
+  json.set_meta("hw_threads",
+                static_cast<double>(std::thread::hardware_concurrency()));
+  json.set_meta("cpu_model", benchutil::cpu_model_string());
+  json.set_meta("clicks", static_cast<double>(total));
+
+  benchutil::print_header({"batch", "arm", "Mclicks/s", "dups"});
+  constexpr std::size_t kInflight = 4;
+  for (const std::size_t batch : {std::size_t{256}, std::size_t{1024},
+                                  std::size_t{4096}, std::size_t{16384}}) {
+    std::uint64_t dups_inproc = 0, dups_wire = 0;
+    const double dt_in = run_inproc(cfg, clicks, batch, dups_inproc);
+    const double dt_wire = run_wire(cfg, clicks, batch, kInflight, dups_wire);
+    const double m_in = static_cast<double>(total) / dt_in / 1e6;
+    const double m_wire = static_cast<double>(total) / dt_wire / 1e6;
+    std::printf("%13zu %13s ", batch, "inproc");
+    benchutil::print_row({m_in, static_cast<double>(dups_inproc)});
+    std::printf("%13zu %13s ", batch, "wire");
+    benchutil::print_row({m_wire, static_cast<double>(dups_wire)});
+    // Identical configs replaying the identical stream must agree exactly;
+    // a mismatch means the wire path corrupted or reordered clicks.
+    if (dups_inproc != dups_wire) {
+      std::fprintf(stderr,
+                   "FAIL: duplicate totals diverge (inproc %llu, wire %llu)\n",
+                   static_cast<unsigned long long>(dups_inproc),
+                   static_cast<unsigned long long>(dups_wire));
+      return 1;
+    }
+    json.add("inproc", {{"batch", static_cast<double>(batch)},
+                        {"mclicks_per_s", m_in},
+                        {"duplicates", static_cast<double>(dups_inproc)}});
+    json.add("wire", {{"batch", static_cast<double>(batch)},
+                      {"mclicks_per_s", m_wire},
+                      {"inflight", static_cast<double>(kInflight)},
+                      {"duplicates", static_cast<double>(dups_wire)}});
+  }
+  json.write();
+  return 0;
+}

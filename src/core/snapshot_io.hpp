@@ -9,6 +9,7 @@
 #include <ostream>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ppc::core::detail {
@@ -34,8 +35,31 @@ inline void write_words(std::ostream& out, std::span<const std::uint64_t> w) {
             static_cast<std::streamsize>(w.size() * 8));
 }
 
+/// Hard cap on one word block: 2 GiB of filter payload. Real snapshots sit
+/// far below this (the DetectorPool budget caps live filters at 1 GiB);
+/// a count beyond it can only come from corruption, and rejecting it here
+/// keeps a forged header from turning into a multi-GiB allocation.
+inline constexpr std::uint64_t kMaxSnapshotWords = std::uint64_t{1} << 28;
+
 inline std::vector<std::uint64_t> read_words(std::istream& in) {
   const std::uint64_t count = read_u64(in);
+  if (count > kMaxSnapshotWords) {
+    throw std::runtime_error("snapshot: implausible word count " +
+                             std::to_string(count));
+  }
+  // Where the stream is seekable (files, stringstreams), bound the count
+  // by the bytes actually remaining BEFORE allocating: a corrupt header
+  // must fail cleanly, not reserve gigabytes and then hit EOF.
+  const std::istream::pos_type pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) &&
+        count * 8 > static_cast<std::uint64_t>(end - pos)) {
+      throw std::runtime_error("snapshot: word count exceeds stream size");
+    }
+  }
   std::vector<std::uint64_t> w(count);
   in.read(reinterpret_cast<char*>(w.data()),
           static_cast<std::streamsize>(count * 8));

@@ -1,0 +1,167 @@
+// BlockingClient: a minimal synchronous client for the ingest wire
+// protocol, shared by ppc_loadgen, the server e2e tests, and the loopback
+// bench. One socket, blocking I/O, an internal receive buffer decoded with
+// the same wire.hpp decoder the server uses — so both ends of every test
+// run the production framing code.
+#pragma once
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "server/wire.hpp"
+
+namespace ppc::server {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { close(); }
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// When > 0, shrink SO_RCVBUF before connecting (backpressure tests
+  /// make the client a deliberately slow consumer this way).
+  void set_rcvbuf(int bytes) noexcept { rcvbuf_ = bytes; }
+
+  void connect(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket");
+    if (rcvbuf_ > 0) {
+      setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_, sizeof(rcvbuf_));
+    }
+    const int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("BlockingClient: bad address " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      throw_errno("connect " + host + ":" + std::to_string(port));
+    }
+  }
+
+  /// HELLO / HELLO_ACK version handshake; throws on mismatch or close.
+  void handshake(std::uint32_t version = wire::kProtocolVersion) {
+    scratch_.clear();
+    wire::append_hello(scratch_, version);
+    send_raw(scratch_);
+    wire::FrameView frame;
+    if (!read_frame(frame) || frame.type != wire::FrameType::kHelloAck) {
+      throw std::runtime_error("BlockingClient: no HELLO_ACK");
+    }
+    std::uint32_t acked = 0;
+    std::string err;
+    if (!wire::parse_version(frame.payload, acked, err) || acked != version) {
+      throw std::runtime_error("BlockingClient: bad HELLO_ACK: " + err);
+    }
+  }
+
+  void send_raw(std::span<const std::uint8_t> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("send");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void send_click_batch(std::uint64_t seq,
+                        std::span<const wire::ClickRecord> clicks) {
+    scratch_.clear();
+    wire::append_click_batch(scratch_, seq, clicks);
+    send_raw(scratch_);
+  }
+
+  void send_ping(std::uint64_t token) {
+    scratch_.clear();
+    wire::append_ping(scratch_, token);
+    send_raw(scratch_);
+  }
+
+  void send_drain() {
+    scratch_.clear();
+    wire::append_drain(scratch_);
+    send_raw(scratch_);
+  }
+
+  /// Blocks until one complete frame is available and returns a view of it
+  /// (valid until the next read_frame call). Returns false on orderly EOF
+  /// with an empty buffer; throws on malformed frames or socket errors.
+  bool read_frame(wire::FrameView& frame) {
+    // Drop the previously returned frame before decoding the next.
+    if (last_consumed_ > 0) {
+      rbuf_.erase(rbuf_.begin(),
+                  rbuf_.begin() + static_cast<std::ptrdiff_t>(last_consumed_));
+      last_consumed_ = 0;
+    }
+    while (true) {
+      std::size_t consumed = 0;
+      std::string error;
+      const wire::DecodeStatus status =
+          wire::decode_frame(rbuf_, frame, consumed, error);
+      if (status == wire::DecodeStatus::kFrame) {
+        last_consumed_ = consumed;
+        return true;
+      }
+      if (status == wire::DecodeStatus::kError) {
+        throw std::runtime_error("BlockingClient: " + error);
+      }
+      std::uint8_t chunk[64 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+      }
+      if (n == 0) {
+        if (!rbuf_.empty()) {
+          throw std::runtime_error(
+              "BlockingClient: connection closed mid-frame");
+        }
+        return false;
+      }
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+    }
+  }
+
+  void close() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  [[noreturn]] static void throw_errno(const std::string& what) {
+    throw std::runtime_error("BlockingClient: " + what + ": " +
+                             std::strerror(errno));
+  }
+
+  int fd_ = -1;
+  int rcvbuf_ = 0;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t last_consumed_ = 0;
+  std::vector<std::uint8_t> scratch_;
+};
+
+}  // namespace ppc::server

@@ -1,0 +1,156 @@
+#include "server/ingest_server.hpp"
+
+#include <atomic>
+
+namespace ppc::server {
+
+IngestServer::IngestServer(ClickSink& sink, Options opts)
+    : sink_(sink), opts_(opts), loop_(*this, opts.loop) {
+  if (opts_.flush_clicks == 0) {
+    throw std::invalid_argument("IngestServer: flush_clicks must be >= 1");
+  }
+}
+
+bool IngestServer::on_data(Connection& conn, std::string& why) {
+  while (true) {
+    wire::FrameView frame;
+    std::size_t consumed = 0;
+    const wire::DecodeStatus status =
+        wire::decode_frame(conn.readable(), frame, consumed, why);
+    if (status == wire::DecodeStatus::kNeedMore) return true;
+    if (status == wire::DecodeStatus::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!handle_frame(conn, frame, why)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    conn.consume(consumed);
+    // A frame-level flush keeps the pending batch micro-batch sized even
+    // when one read() delivers many frames at once.
+    if (pending_ids_.size() >= opts_.flush_clicks) flush_pending();
+  }
+}
+
+bool IngestServer::handle_frame(Connection& conn, const wire::FrameView& frame,
+                                std::string& why) {
+  if (!conn.hello_done && frame.type != wire::FrameType::kHello) {
+    why = std::string("expected HELLO, got ") + frame_type_name(frame.type);
+    return false;
+  }
+  switch (frame.type) {
+    case wire::FrameType::kHello: {
+      std::uint32_t version = 0;
+      if (!wire::parse_version(frame.payload, version, why)) return false;
+      if (version != wire::kProtocolVersion) {
+        why = "unsupported protocol version " + std::to_string(version);
+        return false;
+      }
+      if (conn.hello_done) {
+        why = "duplicate HELLO";
+        return false;
+      }
+      conn.hello_done = true;
+      reply_buf_.clear();
+      wire::append_hello_ack(reply_buf_);
+      conn.send(reply_buf_);
+      return true;
+    }
+    case wire::FrameType::kClickBatch: {
+      wire::ClickBatchView batch;
+      if (!wire::parse_click_batch(frame.payload, batch, why)) return false;
+      click_frames_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t offset = pending_ids_.size();
+      for (std::uint32_t i = 0; i < batch.count; ++i) {
+        const wire::ClickRecord rec = batch.record(i);
+        pending_ads_.push_back(rec.ad_id);
+        pending_ids_.push_back(rec.click_id);
+        pending_times_.push_back(rec.t_us);
+      }
+      pending_replies_.push_back(
+          {conn.id(), batch.seq, batch.count, offset, /*drain_after=*/false});
+      return true;
+    }
+    case wire::FrameType::kPing: {
+      std::uint64_t token = 0;
+      if (!wire::parse_token(frame.payload, token, why)) return false;
+      pings_.fetch_add(1, std::memory_order_relaxed);
+      reply_buf_.clear();
+      wire::append_pong(reply_buf_, token);
+      conn.send(reply_buf_);
+      return true;
+    }
+    case wire::FrameType::kDrain: {
+      if (!wire::parse_drain(frame.payload, why)) return false;
+      drains_.fetch_add(1, std::memory_order_relaxed);
+      // Verdicts for every already-accepted click must precede the ack;
+      // flushing here guarantees that even with clicks still pending.
+      flush_pending();
+      reply_buf_.clear();
+      wire::append_drain_ack(reply_buf_, conn.clicks, conn.duplicates);
+      conn.send(reply_buf_);
+      return true;
+    }
+    case wire::FrameType::kHelloAck:
+    case wire::FrameType::kVerdictBatch:
+    case wire::FrameType::kPong:
+    case wire::FrameType::kDrainAck:
+      why = std::string("client sent server-only frame ") +
+            frame_type_name(frame.type);
+      return false;
+  }
+  why = "unreachable frame type";
+  return false;
+}
+
+void IngestServer::on_round_end() { flush_pending(); }
+
+void IngestServer::on_close(Connection& conn, const std::string& /*reason*/) {
+  // Verdicts owed to a vanished connection are still computed (the clicks
+  // were accepted into the window) but have nowhere to go; drop the reply
+  // records so flush_pending never touches a dangling id.
+  for (PendingReply& r : pending_replies_) {
+    if (r.conn_id == conn.id()) r.conn_id = 0;  // no connection has id 0
+  }
+}
+
+void IngestServer::flush_pending() {
+  const std::size_t n = pending_ids_.size();
+  if (n == 0) return;
+  verdicts_.assign(n, 0);
+  const std::span<bool> out(reinterpret_cast<bool*>(verdicts_.data()), n);
+  sink_.offer(pending_ads_, pending_ids_, pending_times_, out);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t batch_dups = 0;
+  for (const PendingReply& r : pending_replies_) {
+    std::uint64_t frame_dups = 0;
+    for (std::uint32_t i = 0; i < r.count; ++i) {
+      frame_dups += out[r.offset + i] ? 1 : 0;
+    }
+    batch_dups += frame_dups;
+    Connection* conn = loop_.find(r.conn_id);
+    if (conn == nullptr) continue;
+    conn->clicks += r.count;
+    conn->duplicates += frame_dups;
+    reply_buf_.clear();
+    wire::append_verdict_batch(reply_buf_, r.seq,
+                               out.subspan(r.offset, r.count));
+    conn->send(reply_buf_);
+  }
+  clicks_.fetch_add(n, std::memory_order_relaxed);
+  duplicates_.fetch_add(batch_dups, std::memory_order_relaxed);
+  pending_ads_.clear();
+  pending_ids_.clear();
+  pending_times_.clear();
+  pending_replies_.clear();
+}
+
+IngestServer::Stats IngestServer::drain(int flush_timeout_ms) {
+  flush_pending();
+  loop_.flush_all_blocking(flush_timeout_ms);
+  return stats();
+}
+
+}  // namespace ppc::server

@@ -1,0 +1,99 @@
+// Shared detector configuration for the network ingest pair.
+//
+// ppcd (the daemon) and ppc_loadgen (the client) must agree on how the
+// per-ad detector is built: the load generator verifies the verdict stream
+// it got over the wire against an in-process ORACLE replay of the same
+// clicks, which is only meaningful when the oracle detector is constructed
+// exactly like the server's. Both binaries (and the e2e tests) therefore
+// funnel the same flags through this one builder.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/detector_factory.hpp"
+#include "core/duplicate_detector.hpp"
+#include "core/sharded_detector.hpp"
+#include "core/window.hpp"
+
+namespace ppc::server {
+
+/// Everything that determines a detector's verdict stream. shards == 1
+/// builds the plain paper detector (core::make_detector); shards > 1 wraps
+/// it in a ShardedDetector with each shard's count window scaled to
+/// window/shards (the same discipline as bench/sharded_throughput).
+struct DetectorConfig {
+  core::WindowSpec window = core::WindowSpec::jumping_count(1 << 20, 8);
+  std::uint64_t memory_bits = std::uint64_t{1} << 24;
+  std::size_t hashes = 7;
+  std::size_t shards = 1;
+  std::size_t owners = 1;  ///< engine owner threads / mutex fan-out lanes
+  core::ShardedDetector::EngineMode engine =
+      core::ShardedDetector::EngineMode::kAuto;
+};
+
+/// Parses "sliding:N", "jumping:N:Q", "landmark:N",
+/// "sliding-time:SPAN_US:UNIT_US", "jumping-time:SPAN_US:Q:UNIT_US" — the
+/// same grammar as ppcguard's --window flag.
+inline core::WindowSpec parse_window_spec(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto colon = text.find(':', start);
+    parts.push_back(text.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  auto num = [&](std::size_t i) { return std::stoull(parts.at(i)); };
+  if (parts[0] == "sliding" && parts.size() == 2) {
+    return core::WindowSpec::sliding_count(num(1));
+  }
+  if (parts[0] == "jumping" && parts.size() == 3) {
+    return core::WindowSpec::jumping_count(num(1),
+                                           static_cast<std::uint32_t>(num(2)));
+  }
+  if (parts[0] == "landmark" && parts.size() == 2) {
+    return core::WindowSpec::landmark_count(num(1));
+  }
+  if (parts[0] == "sliding-time" && parts.size() == 3) {
+    return core::WindowSpec::sliding_time(num(1), num(2));
+  }
+  if (parts[0] == "jumping-time" && parts.size() == 4) {
+    return core::WindowSpec::jumping_time(
+        num(1), static_cast<std::uint32_t>(num(2)), num(3));
+  }
+  throw std::invalid_argument("unrecognized window spec: " + text);
+}
+
+/// Builds one detector for one identifier population under `cfg`.
+/// Deterministic: two calls with equal configs produce detectors whose
+/// sequential verdict streams are bit-identical — the property the
+/// load generator's oracle verification rests on.
+inline std::unique_ptr<core::DuplicateDetector> build_detector(
+    const DetectorConfig& cfg) {
+  core::DetectorBudget budget;
+  budget.hash_count = cfg.hashes;
+  if (cfg.shards <= 1) {
+    budget.total_memory_bits = cfg.memory_bits;
+    return core::make_detector(cfg.window, budget);
+  }
+  budget.total_memory_bits = cfg.memory_bits / cfg.shards;
+  core::WindowSpec shard_window = cfg.window;
+  if (shard_window.basis == core::WindowBasis::kCount) {
+    shard_window.length =
+        std::max<std::uint64_t>(1, shard_window.length / cfg.shards);
+  }
+  core::ShardedDetector::Options opts;
+  opts.threads = cfg.owners;
+  opts.engine = cfg.engine;
+  return std::make_unique<core::ShardedDetector>(
+      cfg.shards,
+      [&](std::size_t) { return core::make_detector(shard_window, budget); },
+      opts);
+}
+
+}  // namespace ppc::server

@@ -1,0 +1,413 @@
+// Wire protocol for the click-stream ingest service: length-prefixed
+// little-endian binary frames carrying click batches toward a detector
+// and verdict batches back.
+//
+// Frame layout (all integers little-endian, regardless of host order):
+//
+//   u32  body_len           length of the body (type byte + payload);
+//                           1 <= body_len <= kMaxFrameBody
+//   u8   type               FrameType
+//   ...  payload            body_len - 1 bytes, per-type layout below
+//   u32  crc32              IEEE CRC-32 of the body (type + payload)
+//
+// Per-type payloads:
+//
+//   HELLO         u32 protocol_version            client -> server, first
+//   HELLO_ACK     u32 protocol_version            server -> client
+//   CLICK_BATCH   u64 seq, u32 count,             client -> server
+//                 count x { u32 ad_id, u64 click_id, u64 t_us }  (20 B each)
+//   VERDICT_BATCH u64 seq, u32 count,             server -> client; bit i
+//                 ceil(count/8) bitmap bytes      (LSB-first) = duplicate
+//   PING          u64 token                       either direction
+//   PONG          u64 token                       echo of PING
+//   DRAIN         (empty)                         client -> server: flush
+//   DRAIN_ACK     u64 clicks, u64 duplicates      connection totals
+//
+// Decoding discipline (shared with core/snapshot_io.hpp): every length and
+// count decoded from the wire is validated against a hard cap AND against
+// the bytes actually present before anything is allocated or dereferenced.
+// A malformed frame yields DecodeStatus::kError with a reason — never UB,
+// never a read past the buffer, never an attacker-sized allocation; the
+// server answers kError by closing the connection. tests/wire_fuzz_test.cpp
+// mutation-fuzzes this contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppc::server::wire {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Hard cap on one frame's body. A CLICK_BATCH of the largest permitted
+/// click count fits with room to spare; anything larger is malformed by
+/// definition, so a corrupt length prefix can never make the server buffer
+/// gigabytes for one connection.
+inline constexpr std::size_t kMaxFrameBody = std::size_t{1} << 20;  // 1 MiB
+
+/// Frame overhead around the body: u32 length prefix + u32 CRC trailer.
+inline constexpr std::size_t kFrameOverhead = 8;
+
+/// Cap on clicks per CLICK_BATCH / verdicts per VERDICT_BATCH. Chosen so
+/// the batch the server coalesces stays micro-batch sized (the sweet spot
+/// the offer_batch pipelines were tuned at), and well under what a
+/// kMaxFrameBody frame could physically carry.
+inline constexpr std::uint32_t kMaxClicksPerBatch = 32768;
+
+/// One click on the wire: 20 bytes, see CLICK_BATCH above.
+struct ClickRecord {
+  std::uint32_t ad_id = 0;
+  std::uint64_t click_id = 0;
+  std::uint64_t t_us = 0;
+
+  friend bool operator==(const ClickRecord&, const ClickRecord&) = default;
+};
+inline constexpr std::size_t kClickRecordBytes = 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kClickBatch = 3,
+  kVerdictBatch = 4,
+  kPing = 5,
+  kPong = 6,
+  kDrain = 7,
+  kDrainAck = 8,
+};
+
+inline const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kClickBatch: return "CLICK_BATCH";
+    case FrameType::kVerdictBatch: return "VERDICT_BATCH";
+    case FrameType::kPing: return "PING";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kDrain: return "DRAIN";
+    case FrameType::kDrainAck: return "DRAIN_ACK";
+  }
+  return "UNKNOWN";
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven; the table is
+// built at compile time so the header stays dependency-free.
+
+namespace detail {
+struct Crc32Table {
+  std::uint32_t entry[256] = {};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entry[i] = c;
+    }
+  }
+};
+inline constexpr Crc32Table kCrc32Table{};
+}  // namespace detail
+
+inline std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = detail::kCrc32Table.entry[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian packing. Byte-at-a-time so the protocol is host-order
+// independent and never does an unaligned load.
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Precondition (caller-checked): p points at >= 4 readable bytes.
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+/// Precondition (caller-checked): p points at >= 8 readable bytes.
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding. All encoders append one complete frame to `out`.
+
+inline void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                         std::span<const std::uint8_t> payload) {
+  const std::size_t body_len = 1 + payload.size();
+  put_u32(out, static_cast<std::uint32_t>(body_len));
+  const std::size_t body_start = out.size();
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32({out.data() + body_start, body_len}));
+}
+
+inline void append_hello(std::vector<std::uint8_t>& out,
+                         std::uint32_t version = kProtocolVersion) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, version);
+  append_frame(out, FrameType::kHello, payload);
+}
+
+inline void append_hello_ack(std::vector<std::uint8_t>& out,
+                             std::uint32_t version = kProtocolVersion) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, version);
+  append_frame(out, FrameType::kHelloAck, payload);
+}
+
+inline void append_click_batch(std::vector<std::uint8_t>& out,
+                               std::uint64_t seq,
+                               std::span<const ClickRecord> clicks) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12 + clicks.size() * kClickRecordBytes);
+  put_u64(payload, seq);
+  put_u32(payload, static_cast<std::uint32_t>(clicks.size()));
+  for (const ClickRecord& c : clicks) {
+    put_u32(payload, c.ad_id);
+    put_u64(payload, c.click_id);
+    put_u64(payload, c.t_us);
+  }
+  append_frame(out, FrameType::kClickBatch, payload);
+}
+
+/// `duplicate[i] != 0` sets bit i of the verdict bitmap (LSB-first).
+inline void append_verdict_batch(std::vector<std::uint8_t>& out,
+                                 std::uint64_t seq,
+                                 std::span<const bool> duplicate) {
+  std::vector<std::uint8_t> payload;
+  const std::size_t bitmap_bytes = (duplicate.size() + 7) / 8;
+  payload.reserve(12 + bitmap_bytes);
+  put_u64(payload, seq);
+  put_u32(payload, static_cast<std::uint32_t>(duplicate.size()));
+  for (std::size_t byte = 0; byte < bitmap_bytes; ++byte) {
+    std::uint8_t bits = 0;
+    const std::size_t base = byte * 8;
+    for (std::size_t bit = 0; bit < 8 && base + bit < duplicate.size(); ++bit) {
+      if (duplicate[base + bit]) bits |= static_cast<std::uint8_t>(1u << bit);
+    }
+    payload.push_back(bits);
+  }
+  append_frame(out, FrameType::kVerdictBatch, payload);
+}
+
+inline void append_ping(std::vector<std::uint8_t>& out, std::uint64_t token) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, token);
+  append_frame(out, FrameType::kPing, payload);
+}
+
+inline void append_pong(std::vector<std::uint8_t>& out, std::uint64_t token) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, token);
+  append_frame(out, FrameType::kPong, payload);
+}
+
+inline void append_drain(std::vector<std::uint8_t>& out) {
+  append_frame(out, FrameType::kDrain, {});
+}
+
+inline void append_drain_ack(std::vector<std::uint8_t>& out,
+                             std::uint64_t clicks, std::uint64_t duplicates) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, clicks);
+  put_u64(payload, duplicates);
+  append_frame(out, FrameType::kDrainAck, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+enum class DecodeStatus : std::uint8_t {
+  kNeedMore,  ///< the buffer holds a valid prefix of a frame; read more
+  kFrame,     ///< one well-formed frame extracted; `consumed` bytes used
+  kError,     ///< malformed input; the connection must be closed
+};
+
+/// A decoded frame. `payload` points INTO the caller's buffer and is only
+/// valid until the caller consumes or compacts it.
+struct FrameView {
+  FrameType type = FrameType::kHello;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Extracts the next frame from the front of `buf`. On kFrame, `consumed`
+/// is the total frame size to drop from the buffer. On kError, `error`
+/// names the defect (frame boundaries are unrecoverable after a framing
+/// error, so callers close the connection rather than resynchronize).
+inline DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
+                                 FrameView& frame, std::size_t& consumed,
+                                 std::string& error) {
+  consumed = 0;
+  if (buf.size() < 4) return DecodeStatus::kNeedMore;
+  const std::uint32_t body_len = get_u32(buf.data());
+  if (body_len < 1) {
+    error = "frame body length 0";
+    return DecodeStatus::kError;
+  }
+  if (body_len > kMaxFrameBody) {
+    error = "frame body length " + std::to_string(body_len) +
+            " exceeds cap " + std::to_string(kMaxFrameBody);
+    return DecodeStatus::kError;
+  }
+  const std::size_t total = 4 + static_cast<std::size_t>(body_len) + 4;
+  if (buf.size() < total) return DecodeStatus::kNeedMore;
+  const std::span<const std::uint8_t> body = buf.subspan(4, body_len);
+  const std::uint32_t stated_crc = get_u32(buf.data() + 4 + body_len);
+  if (crc32(body) != stated_crc) {
+    error = "frame CRC mismatch";
+    return DecodeStatus::kError;
+  }
+  const std::uint8_t type = body[0];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kDrainAck)) {
+    error = "unknown frame type " + std::to_string(type);
+    return DecodeStatus::kError;
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = body.subspan(1);
+  consumed = total;
+  return DecodeStatus::kFrame;
+}
+
+// Typed payload parsers. Each validates the payload size (and any embedded
+// count against the bytes actually present) before touching the data.
+
+inline bool parse_version(std::span<const std::uint8_t> payload,
+                          std::uint32_t& version, std::string& error) {
+  if (payload.size() != 4) {
+    error = "HELLO payload must be 4 bytes, got " +
+            std::to_string(payload.size());
+    return false;
+  }
+  version = get_u32(payload.data());
+  return true;
+}
+
+/// Zero-copy view of a CLICK_BATCH payload; `records` aliases the decode
+/// buffer, so the view has the same lifetime as the FrameView it came from.
+struct ClickBatchView {
+  std::uint64_t seq = 0;
+  std::uint32_t count = 0;
+  const std::uint8_t* records = nullptr;
+
+  ClickRecord record(std::size_t i) const {
+    const std::uint8_t* p = records + i * kClickRecordBytes;
+    return {get_u32(p), get_u64(p + 4), get_u64(p + 12)};
+  }
+};
+
+inline bool parse_click_batch(std::span<const std::uint8_t> payload,
+                              ClickBatchView& view, std::string& error) {
+  if (payload.size() < 12) {
+    error = "CLICK_BATCH payload shorter than its header";
+    return false;
+  }
+  view.seq = get_u64(payload.data());
+  view.count = get_u32(payload.data() + 8);
+  if (view.count > kMaxClicksPerBatch) {
+    error = "CLICK_BATCH count " + std::to_string(view.count) +
+            " exceeds cap " + std::to_string(kMaxClicksPerBatch);
+    return false;
+  }
+  const std::size_t expected =
+      12 + static_cast<std::size_t>(view.count) * kClickRecordBytes;
+  if (payload.size() != expected) {
+    error = "CLICK_BATCH count " + std::to_string(view.count) +
+            " disagrees with payload size " + std::to_string(payload.size());
+    return false;
+  }
+  view.records = payload.data() + 12;
+  return true;
+}
+
+/// Zero-copy view of a VERDICT_BATCH payload (same lifetime rules).
+struct VerdictBatchView {
+  std::uint64_t seq = 0;
+  std::uint32_t count = 0;
+  const std::uint8_t* bitmap = nullptr;
+
+  bool duplicate(std::size_t i) const {
+    return (bitmap[i / 8] >> (i % 8)) & 1u;
+  }
+};
+
+inline bool parse_verdict_batch(std::span<const std::uint8_t> payload,
+                                VerdictBatchView& view, std::string& error) {
+  if (payload.size() < 12) {
+    error = "VERDICT_BATCH payload shorter than its header";
+    return false;
+  }
+  view.seq = get_u64(payload.data());
+  view.count = get_u32(payload.data() + 8);
+  if (view.count > kMaxClicksPerBatch) {
+    error = "VERDICT_BATCH count " + std::to_string(view.count) +
+            " exceeds cap " + std::to_string(kMaxClicksPerBatch);
+    return false;
+  }
+  const std::size_t expected = 12 + (static_cast<std::size_t>(view.count) + 7) / 8;
+  if (payload.size() != expected) {
+    error = "VERDICT_BATCH count " + std::to_string(view.count) +
+            " disagrees with payload size " + std::to_string(payload.size());
+    return false;
+  }
+  view.bitmap = payload.data() + 12;
+  return true;
+}
+
+inline bool parse_token(std::span<const std::uint8_t> payload,
+                        std::uint64_t& token, std::string& error) {
+  if (payload.size() != 8) {
+    error = "PING/PONG payload must be 8 bytes, got " +
+            std::to_string(payload.size());
+    return false;
+  }
+  token = get_u64(payload.data());
+  return true;
+}
+
+inline bool parse_drain(std::span<const std::uint8_t> payload,
+                        std::string& error) {
+  if (!payload.empty()) {
+    error = "DRAIN payload must be empty, got " +
+            std::to_string(payload.size()) + " bytes";
+    return false;
+  }
+  return true;
+}
+
+inline bool parse_drain_ack(std::span<const std::uint8_t> payload,
+                            std::uint64_t& clicks, std::uint64_t& duplicates,
+                            std::string& error) {
+  if (payload.size() != 16) {
+    error = "DRAIN_ACK payload must be 16 bytes, got " +
+            std::to_string(payload.size());
+    return false;
+  }
+  clicks = get_u64(payload.data());
+  duplicates = get_u64(payload.data() + 8);
+  return true;
+}
+
+}  // namespace ppc::server::wire

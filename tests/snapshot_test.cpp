@@ -4,6 +4,7 @@
 // and mid-sub-window).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "core/group_bloom_filter.hpp"
@@ -127,6 +128,41 @@ TEST(Snapshot, RejectsGarbageAndWrongMagic) {
   std::stringstream buffer;
   gbf.save(buffer);
   EXPECT_THROW(TimingBloomFilter::load(buffer), std::runtime_error);
+}
+
+// A corrupt word-count header must surface as runtime_error BEFORE any
+// allocation is attempted — not as a multi-GiB std::vector resize (or
+// bad_alloc / OOM-kill) followed by EOF. The TBF layout puts the word
+// count at a fixed offset: magic + 5 window fields + 5 option fields +
+// 5 state fields = 16 u64s = 128 bytes.
+TEST(Snapshot, RejectsForgedWordCountHeader) {
+  TimingBloomFilter tbf(WindowSpec::sliding_count(64), tbf_opts());
+  tbf.offer(42);
+  std::stringstream buffer;
+  tbf.save(buffer);
+  std::string bytes = buffer.str();
+  ASSERT_GT(bytes.size(), 136u);
+
+  constexpr std::size_t kWordCountOffset = 128;
+  // Absurd count (fails the absolute cap).
+  std::string forged = bytes;
+  const std::uint64_t huge = ~std::uint64_t{0} >> 3;
+  std::memcpy(forged.data() + kWordCountOffset, &huge, 8);
+  std::stringstream forged_in(forged);
+  EXPECT_THROW(TimingBloomFilter::load(forged_in), std::runtime_error);
+
+  // Plausible-looking count that still exceeds the remaining bytes
+  // (fails the remaining-stream bound).
+  forged = bytes;
+  const std::uint64_t oversize =
+      (bytes.size() - kWordCountOffset) / 8 + 1000;
+  std::memcpy(forged.data() + kWordCountOffset, &oversize, 8);
+  std::stringstream oversize_in(forged);
+  EXPECT_THROW(TimingBloomFilter::load(oversize_in), std::runtime_error);
+
+  // Unchanged bytes still load — the forgery, not the check, is at fault.
+  std::stringstream intact(bytes);
+  EXPECT_NO_THROW(TimingBloomFilter::load(intact));
 }
 
 TEST(Snapshot, RejectsTruncatedInput) {

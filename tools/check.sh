@@ -12,9 +12,11 @@
 #      the SIMD and scalar index kernels fails here);
 #   4. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
 #      tests — sharded_test, runtime_test, parallel_batch_test,
-#      batch_times_test, spsc_ring_test, engine_equivalence_test — so
-#      every PR touching the parallel ingestion paths gets a race check;
-#      the engine-sensitive ones run under TSan in both engine defaults.
+#      batch_times_test, spsc_ring_test, engine_equivalence_test, plus the
+#      network ingest pair wire_fuzz_test / server_e2e_test (event loop
+#      thread vs client threads) — so every PR touching the parallel
+#      ingestion paths gets a race check; the engine-sensitive ones run
+#      under TSan in both engine defaults.
 #
 # Usage: tools/check.sh [--tsan-only]
 set -euo pipefail
@@ -25,11 +27,13 @@ TSAN_ONLY=0
 [[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
 
 TSAN_TESTS=(sharded_test runtime_test parallel_batch_test batch_times_test
-            spsc_ring_test engine_equivalence_test)
+            spsc_ring_test engine_equivalence_test wire_fuzz_test
+            server_e2e_test)
 # Tests whose ShardedDetectors default to kAuto and therefore change
 # behaviour under PPC_ENGINE_DEFAULT=ON (the rest construct their mode
 # explicitly or don't touch ShardedDetector at all).
-ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test)
+ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test
+                        server_e2e_test)
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   echo "== tier-1: build + ctest =="

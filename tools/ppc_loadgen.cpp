@@ -1,0 +1,341 @@
+// ppc_loadgen — load generator and correctness checker for ppcd.
+//
+//   ppc_loadgen --connect=127.0.0.1:4817 --connections=4 --clicks=1000000
+//               --batch=1024 [--inflight=4] [--seed=1] [--verify=on|off]
+//               [--window=... --memory-mib=... --hashes=... --shards=...
+//                --owners=... --engine=...]   (mirror of the ppcd flags)
+//
+// Each connection runs on its own thread: a deterministic Zipf click
+// stream (stream::MixedTrafficStream, seed = --seed + connection index,
+// every click stamped with the connection's OWN ad id so its identifier
+// population maps to its own per-ad detector on a --sink=pool server),
+// batched into CLICK_BATCH frames with up to --inflight outstanding, with
+// per-batch round-trip latency recorded from send to verdict receipt.
+//
+// With --verify=on (default) the verdict bits received over the wire are
+// compared BIT-FOR-BIT against an in-process oracle: the identical click
+// stream replayed through a detector built by the same
+// server::build_detector config the daemon uses. Because each connection
+// owns its ad (hence its detector) the comparison is exact regardless of
+// how connections interleave on the server. The DRAIN_ACK totals are
+// cross-checked too. Any mismatch exits nonzero.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/server_config.hpp"
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+
+using namespace ppc;
+namespace wire = ppc::server::wire;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--key=value ...]\n"
+      "  --connect=HOST:PORT  server address (default 127.0.0.1:4817)\n"
+      "  --connections=N      parallel client connections (default 4)\n"
+      "  --clicks=N           total clicks across connections (default 1M)\n"
+      "  --batch=B            clicks per CLICK_BATCH frame (default 1024)\n"
+      "  --inflight=W         outstanding batches per connection (default 4)\n"
+      "  --seed=S             stream seed (default 1)\n"
+      "  --verify=on|off      oracle verification (default on)\n"
+      "  --window=SPEC --memory-mib=M --hashes=K --shards=S --owners=T\n"
+      "  --engine=auto|on|off mirror of the ppcd detector flags (oracle)\n",
+      argv0);
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) != 0) {
+      usage(argv[0]);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+/// The deterministic click stream for one connection: Zipf users clicking
+/// the connection's own ad. Both the wire path and the oracle replay call
+/// this, so they see byte-identical (id, t_us) sequences.
+std::vector<wire::ClickRecord> make_clicks(std::uint32_t connection,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  stream::MixedTrafficStream::Options opts;
+  opts.seed = seed + connection;
+  stream::MixedTrafficStream gen(opts);
+  std::vector<wire::ClickRecord> clicks(count);
+  for (auto& rec : clicks) {
+    stream::Click c = gen.next();
+    c.ad_id = connection;  // one ad per connection → one detector per conn
+    rec = {c.ad_id, stream::click_identifier(c), c.time_us};
+  }
+  return clicks;
+}
+
+struct ConnResult {
+  std::uint64_t clicks = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t server_clicks = 0;      ///< from DRAIN_ACK
+  std::uint64_t server_duplicates = 0;  ///< from DRAIN_ACK
+  std::vector<double> rtt_us;           ///< one sample per batch
+  std::vector<char> verdicts;           ///< wire verdict bits, in order
+  std::string error;                    ///< nonempty = connection failed
+};
+
+void run_connection(std::uint32_t index, const std::string& host,
+                    std::uint16_t port, const std::vector<wire::ClickRecord>& clicks,
+                    std::size_t batch, std::size_t inflight, ConnResult& out) {
+  try {
+    server::BlockingClient client;
+    client.connect(host, port);
+    client.handshake();
+
+    const std::size_t total_batches = (clicks.size() + batch - 1) / batch;
+    out.rtt_us.reserve(total_batches);
+    out.verdicts.reserve(clicks.size());
+    std::vector<std::chrono::steady_clock::time_point> sent_at(total_batches);
+    std::uint64_t next_send = 0;
+    std::uint64_t next_recv = 0;
+
+    auto recv_one = [&]() {
+      wire::FrameView frame;
+      if (!client.read_frame(frame)) {
+        throw std::runtime_error("server closed before all verdicts");
+      }
+      if (frame.type != wire::FrameType::kVerdictBatch) {
+        throw std::runtime_error(std::string("unexpected frame ") +
+                                 wire::frame_type_name(frame.type));
+      }
+      wire::VerdictBatchView view;
+      std::string err;
+      if (!wire::parse_verdict_batch(frame.payload, view, err)) {
+        throw std::runtime_error(err);
+      }
+      if (view.seq != next_recv) {
+        throw std::runtime_error("verdict batches out of order");
+      }
+      out.rtt_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - sent_at[view.seq])
+              .count());
+      for (std::uint32_t i = 0; i < view.count; ++i) {
+        out.verdicts.push_back(view.duplicate(i) ? 1 : 0);
+        out.duplicates += view.duplicate(i) ? 1 : 0;
+      }
+      out.clicks += view.count;
+      ++next_recv;
+    };
+
+    while (next_send < total_batches) {
+      while (next_send - next_recv >= inflight) recv_one();
+      const std::size_t off = next_send * batch;
+      const std::size_t n = std::min(batch, clicks.size() - off);
+      sent_at[next_send] = std::chrono::steady_clock::now();
+      client.send_click_batch(
+          next_send, std::span<const wire::ClickRecord>(&clicks[off], n));
+      ++next_send;
+    }
+    while (next_recv < total_batches) recv_one();
+
+    client.send_drain();
+    wire::FrameView frame;
+    if (!client.read_frame(frame) ||
+        frame.type != wire::FrameType::kDrainAck) {
+      throw std::runtime_error("no DRAIN_ACK");
+    }
+    std::string err;
+    if (!wire::parse_drain_ack(frame.payload, out.server_clicks,
+                               out.server_duplicates, err)) {
+      throw std::runtime_error(err);
+    }
+  } catch (const std::exception& e) {
+    out.error = "connection " + std::to_string(index) + ": " + e.what();
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  try {
+    const std::string connect = flag(flags, "connect", "127.0.0.1:4817");
+    const auto colon = connect.rfind(':');
+    if (colon == std::string::npos) usage(argv[0]);
+    const std::string host = connect.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::stoul(connect.substr(colon + 1)));
+
+    const auto connections =
+        static_cast<std::uint32_t>(flag_u64(flags, "connections", 4));
+    const std::uint64_t total_clicks = flag_u64(flags, "clicks", 1'000'000);
+    const std::size_t batch = flag_u64(flags, "batch", 1024);
+    const std::size_t inflight = std::max<std::uint64_t>(
+        1, flag_u64(flags, "inflight", 4));
+    const std::uint64_t seed = flag_u64(flags, "seed", 1);
+    const bool verify = flag(flags, "verify", "on") == "on";
+    if (connections == 0 || batch == 0 ||
+        batch > wire::kMaxClicksPerBatch) {
+      usage(argv[0]);
+    }
+
+    server::DetectorConfig cfg;
+    cfg.window = server::parse_window_spec(
+        flag(flags, "window", "jumping:1048576:8"));
+    cfg.memory_bits = flag_u64(flags, "memory-mib", 16) << 23;
+    cfg.hashes = flag_u64(flags, "hashes", 7);
+    cfg.shards = flag_u64(flags, "shards", 1);
+    cfg.owners = flag_u64(flags, "owners", 1);
+    const std::string engine = flag(flags, "engine", "auto");
+    if (engine == "on") {
+      cfg.engine = core::ShardedDetector::EngineMode::kSpscOwner;
+    } else if (engine == "off") {
+      cfg.engine = core::ShardedDetector::EngineMode::kMutex;
+    } else if (engine != "auto") {
+      usage(argv[0]);
+    }
+
+    // Pre-generate every connection's stream so generation cost is outside
+    // the timed window.
+    const std::uint64_t per_conn = total_clicks / connections;
+    std::printf("ppc_loadgen: %u connection(s) x %llu clicks, batch=%zu, "
+                "inflight=%zu, seed=%llu → %s:%u\n",
+                connections, static_cast<unsigned long long>(per_conn), batch,
+                inflight, static_cast<unsigned long long>(seed), host.c_str(),
+                port);
+    std::vector<std::vector<wire::ClickRecord>> streams(connections);
+    for (std::uint32_t c = 0; c < connections; ++c) {
+      streams[c] = make_clicks(c, per_conn, seed);
+    }
+
+    std::vector<ConnResult> results(connections);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(connections);
+      for (std::uint32_t c = 0; c < connections; ++c) {
+        threads.emplace_back(run_connection, c, host, port,
+                             std::cref(streams[c]), batch, inflight,
+                             std::ref(results[c]));
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::uint64_t clicks = 0, dups = 0;
+    std::vector<double> rtts;
+    for (const ConnResult& r : results) {
+      if (!r.error.empty()) {
+        std::fprintf(stderr, "ppc_loadgen: %s\n", r.error.c_str());
+        return 1;
+      }
+      clicks += r.clicks;
+      dups += r.duplicates;
+      rtts.insert(rtts.end(), r.rtt_us.begin(), r.rtt_us.end());
+    }
+    std::sort(rtts.begin(), rtts.end());
+    std::printf("ppc_loadgen: %llu clicks in %.2f s = %.3f Mclicks/s; "
+                "%llu duplicates (%.2f%%)\n",
+                static_cast<unsigned long long>(clicks), secs,
+                secs > 0 ? static_cast<double>(clicks) / secs / 1e6 : 0.0,
+                static_cast<unsigned long long>(dups),
+                clicks > 0 ? 100.0 * static_cast<double>(dups) /
+                                 static_cast<double>(clicks)
+                           : 0.0);
+    std::printf("ppc_loadgen: batch round-trip p50=%.0f us p99=%.0f us "
+                "(%zu batches)\n",
+                percentile(rtts, 0.50), percentile(rtts, 0.99), rtts.size());
+
+    int exit_code = 0;
+    for (std::uint32_t c = 0; c < connections; ++c) {
+      const ConnResult& r = results[c];
+      if (r.server_clicks != r.clicks || r.server_duplicates != r.duplicates) {
+        std::fprintf(stderr,
+                     "ppc_loadgen: connection %u DRAIN_ACK mismatch: server "
+                     "says %llu clicks / %llu dups, client saw %llu / %llu\n",
+                     c, static_cast<unsigned long long>(r.server_clicks),
+                     static_cast<unsigned long long>(r.server_duplicates),
+                     static_cast<unsigned long long>(r.clicks),
+                     static_cast<unsigned long long>(r.duplicates));
+        exit_code = 1;
+      }
+    }
+
+    if (verify) {
+      std::uint64_t mismatches = 0;
+      for (std::uint32_t c = 0; c < connections; ++c) {
+        const auto oracle = server::build_detector(cfg);
+        const auto& stream = streams[c];
+        const auto& got = results[c].verdicts;
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+          const bool expected =
+              oracle->offer(stream[i].click_id, stream[i].t_us);
+          if (i < got.size() && (got[i] != 0) != expected) {
+            if (mismatches < 5) {
+              std::fprintf(stderr,
+                           "ppc_loadgen: verdict mismatch conn %u click %zu: "
+                           "wire=%d oracle=%d\n",
+                           c, i, got[i], expected ? 1 : 0);
+            }
+            ++mismatches;
+          }
+        }
+      }
+      if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "ppc_loadgen: oracle verification FAILED "
+                     "(%llu mismatches)\n",
+                     static_cast<unsigned long long>(mismatches));
+        exit_code = 1;
+      } else {
+        std::printf("ppc_loadgen: oracle verification OK — wire verdicts "
+                    "bit-identical to in-process replay\n");
+      }
+    }
+    return exit_code;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppc_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,187 @@
+// ppcd — the click-stream ingest daemon.
+//
+//   ppcd --listen=127.0.0.1:4817 --window=jumping:1048576:8 [--memory-mib=16]
+//        [--hashes=7] [--sink=pool|sharded] [--shards=8] [--owners=2]
+//        [--engine=auto|on|off] [--flush=16384] [--sndbuf=BYTES]
+//
+// Serves the wire protocol of src/server/wire.hpp on one epoll thread.
+// --sink=pool (default) routes clicks by ad id through an
+// adnet::DetectorPool, creating one detector per ad on first sight;
+// --sink=sharded feeds every click into a single core::ShardedDetector
+// (use --shards/--owners/--engine=on for the lock-free owner engine, which
+// makes the epoll thread a pure SPSC producer). SIGINT/SIGTERM triggers a
+// graceful drain: the pending coalesced batch is flushed through the
+// detector, every owed verdict frame is pushed out with blocking writes,
+// and an op-count summary is printed before exit.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "adnet/detector_pool.hpp"
+#include "server/ingest_server.hpp"
+#include "server/server_config.hpp"
+
+using namespace ppc;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--key=value ...]\n"
+      "  --listen=HOST:PORT   bind address (default 127.0.0.1:4817)\n"
+      "  --window=SPEC        sliding:N | jumping:N:Q | landmark:N |\n"
+      "                       sliding-time:SPAN_US:UNIT_US |\n"
+      "                       jumping-time:SPAN_US:Q:UNIT_US\n"
+      "  --memory-mib=M       filter memory per detector (default 16)\n"
+      "  --hashes=K           hash functions (default 7)\n"
+      "  --sink=pool|sharded  per-ad DetectorPool or one ShardedDetector\n"
+      "  --shards=S           shards per detector (default 1 = unsharded)\n"
+      "  --owners=T           engine owner threads / fan-out lanes\n"
+      "  --engine=auto|on|off lock-free owner engine for sharded detectors\n"
+      "  --flush=N            coalesced-batch flush threshold (default 16384)\n"
+      "  --sndbuf=BYTES       shrink per-connection SO_SNDBUF (tests)\n"
+      "  --memory-cap-mib=M   DetectorPool total budget (default 1024)\n",
+      argv0);
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) != 0) {
+      usage(argv[0]);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg.substr(2)] = "1";
+    } else {
+      flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string flag(const std::map<std::string, std::string>& flags,
+                 const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+server::IngestServer* g_server = nullptr;
+
+void handle_signal(int /*signum*/) {
+  if (g_server != nullptr) g_server->stop();  // one eventfd write: safe here
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv);
+  try {
+    const std::string listen = flag(flags, "listen", "127.0.0.1:4817");
+    const auto colon = listen.rfind(':');
+    if (colon == std::string::npos) usage(argv[0]);
+    const std::string host = listen.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::stoul(listen.substr(colon + 1)));
+
+    server::DetectorConfig cfg;
+    cfg.window = server::parse_window_spec(
+        flag(flags, "window", "jumping:1048576:8"));
+    cfg.memory_bits = flag_u64(flags, "memory-mib", 16) << 23;  // MiB → bits
+    cfg.hashes = flag_u64(flags, "hashes", 7);
+    cfg.shards = flag_u64(flags, "shards", 1);
+    cfg.owners = flag_u64(flags, "owners", 1);
+    const std::string engine = flag(flags, "engine", "auto");
+    if (engine == "on") {
+      cfg.engine = core::ShardedDetector::EngineMode::kSpscOwner;
+    } else if (engine == "off") {
+      cfg.engine = core::ShardedDetector::EngineMode::kMutex;
+    } else if (engine != "auto") {
+      usage(argv[0]);
+    }
+
+    server::IngestServer::Options opts;
+    opts.flush_clicks = flag_u64(flags, "flush", 16384);
+    opts.loop.sndbuf_bytes =
+        static_cast<int>(flag_u64(flags, "sndbuf", 0));
+
+    // Sink construction. Objects outlive the server; declared first.
+    std::unique_ptr<core::DuplicateDetector> detector;
+    std::unique_ptr<adnet::DetectorPool> pool;
+    std::unique_ptr<server::ClickSink> sink;
+    const std::string sink_kind = flag(flags, "sink", "pool");
+    if (sink_kind == "sharded") {
+      detector = server::build_detector(cfg);
+      sink = std::make_unique<server::DetectorSink>(*detector);
+    } else if (sink_kind == "pool") {
+      adnet::DetectorPoolOptions pool_opts;
+      pool_opts.memory_cap_bits =
+          flag_u64(flags, "memory-cap-mib", 1024) << 23;
+      pool = std::make_unique<adnet::DetectorPool>(
+          [cfg](std::uint32_t) { return server::build_detector(cfg); },
+          pool_opts);
+      sink = std::make_unique<server::PoolSink>(*pool);
+    } else {
+      usage(argv[0]);
+    }
+
+    server::IngestServer srv(*sink, opts);
+    const std::uint16_t bound = srv.listen(host, port);
+    g_server = &srv;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("ppcd: listening on %s:%u — sink=%s window=%s "
+                "shards=%zu owners=%zu engine=%s flush=%zu\n",
+                host.c_str(), bound, sink->describe().c_str(),
+                cfg.window.describe().c_str(), cfg.shards, cfg.owners,
+                engine.c_str(), opts.flush_clicks);
+    std::fflush(stdout);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    srv.run();
+    const auto st = srv.drain();
+    const auto ls = srv.loop_stats();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf(
+        "ppcd: drained. clicks=%llu duplicates=%llu frames=%llu "
+        "flushes=%llu pings=%llu drains=%llu protocol_errors=%llu\n"
+        "ppcd: connections accepted=%llu closed=%llu "
+        "backpressure_pauses=%llu bytes_in=%llu bytes_out=%llu\n"
+        "ppcd: %.1f s, %.3f Mclicks/s\n",
+        static_cast<unsigned long long>(st.clicks),
+        static_cast<unsigned long long>(st.duplicates),
+        static_cast<unsigned long long>(st.click_frames),
+        static_cast<unsigned long long>(st.flushes),
+        static_cast<unsigned long long>(st.pings),
+        static_cast<unsigned long long>(st.drains),
+        static_cast<unsigned long long>(st.protocol_errors),
+        static_cast<unsigned long long>(ls.accepted),
+        static_cast<unsigned long long>(ls.closed),
+        static_cast<unsigned long long>(ls.backpressure_pauses),
+        static_cast<unsigned long long>(ls.bytes_in),
+        static_cast<unsigned long long>(ls.bytes_out), secs,
+        secs > 0 ? static_cast<double>(st.clicks) / secs / 1e6 : 0.0);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppcd: %s\n", e.what());
+    return 1;
+  }
+}
