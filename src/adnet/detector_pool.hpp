@@ -22,17 +22,20 @@
 // a pure producer: its tasks never take a shard lock, only lease lanes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <span>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "core/duplicate_detector.hpp"
 #include "core/sharded_detector.hpp"
+#include "core/snapshot_io.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ppc::adnet {
@@ -211,8 +214,81 @@ class DetectorPool {
     return opts_.memory_cap_bits;
   }
 
+  /// Serializes every live per-ad detector into one versioned, CRC-checked
+  /// section (core/snapshot_io.hpp `kPoolMagic`): ad ids in ascending order,
+  /// each followed by its detector's nested save(). Holds the pool's read
+  /// lock for the duration; the per-ad detectors must not be receiving
+  /// concurrent offers (same contract as evict()) unless they are
+  /// individually thread-safe AND quiesce in save() (engine-mode
+  /// ShardedDetectors do).
+  void save(std::ostream& out) const {
+    std::ostringstream payload(std::ios::binary);
+    {
+      const std::shared_lock<std::shared_mutex> read(mutex_);
+      std::vector<std::uint32_t> ads;
+      ads.reserve(detectors_.size());
+      for (const auto& [ad, det] : detectors_) ads.push_back(ad);
+      std::sort(ads.begin(), ads.end());
+      core::detail::write_u64(payload, ads.size());
+      for (const std::uint32_t ad : ads) {
+        core::detail::write_u64(payload, ad);
+        detectors_.at(ad)->save(payload);
+      }
+    }
+    core::detail::write_section(out, core::detail::kPoolMagic, payload.str());
+    if (!out) throw std::runtime_error("DetectorPool::save: write failed");
+  }
+
+  /// Restores state saved by save(): each saved ad's detector is built
+  /// through this pool's factory (so it must produce detectors with the
+  /// same options as the saving pool's) and its nested state restored into
+  /// it. The memory cap is enforced exactly as during live creation.
+  /// Corrupt sections throw before any detector is built; a nested failure
+  /// after that leaves the pool partially populated — evict or discard it.
+  void restore(std::istream& in) {
+    const std::string payload =
+        core::detail::read_section(in, core::detail::kPoolMagic,
+                                   "DetectorPool");
+    std::istringstream ps(payload, std::ios::binary);
+    const std::uint64_t ad_count = core::detail::read_u64(ps);
+    if (ad_count > kMaxSnapshotAds) {
+      throw std::runtime_error("DetectorPool::restore: implausible ad count " +
+                               std::to_string(ad_count));
+    }
+    std::uint64_t prev_ad = 0;
+    for (std::uint64_t i = 0; i < ad_count; ++i) {
+      const std::uint64_t ad = core::detail::read_u64(ps);
+      if (ad > 0xffffffffull) {
+        throw std::runtime_error("DetectorPool::restore: corrupt ad id " +
+                                 std::to_string(ad));
+      }
+      // save() writes ads strictly ascending; anything else is corruption
+      // (and would let a forged snapshot restore one ad twice).
+      if (i > 0 && ad <= prev_ad) {
+        throw std::runtime_error(
+            "DetectorPool::restore: ad ids out of order (corrupt snapshot)");
+      }
+      prev_ad = ad;
+      try {
+        detector_for(static_cast<std::uint32_t>(ad)).restore(ps);
+      } catch (const std::length_error&) {
+        throw;  // memory cap: operator error, not snapshot corruption
+      } catch (const std::exception& e) {
+        throw std::runtime_error("DetectorPool::restore: ad " +
+                                 std::to_string(ad) + ": " + e.what());
+      }
+    }
+    if (ps.peek() != std::istringstream::traits_type::eof()) {
+      throw std::runtime_error(
+          "DetectorPool::restore: trailing bytes after last ad");
+    }
+  }
+
  private:
   static constexpr std::uint32_t kNone = 0xffffffffu;
+  /// Sanity cap on restored ads: far above any live pool (the memory cap
+  /// bites first) but small enough that a forged count fails fast.
+  static constexpr std::uint64_t kMaxSnapshotAds = std::uint64_t{1} << 20;
 
   Factory factory_;
   Options opts_;

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <string>
 
 #include "core/op_counter.hpp"
@@ -86,6 +88,22 @@ class DuplicateDetector {
 
   /// Restores the freshly-constructed state.
   virtual void reset() = 0;
+
+  /// Serializes the complete detector state (parameters + filter payload)
+  /// so a billing replica can checkpoint and resume mid-stream. Detectors
+  /// without a snapshot format throw std::runtime_error.
+  virtual void save(std::ostream&) const {
+    throw std::runtime_error(name() + ": snapshot save not supported");
+  }
+
+  /// Restores state saved by save() INTO THIS INSTANCE. The snapshot's
+  /// window spec and construction options must match this detector's —
+  /// a mismatch throws std::runtime_error and the call has no effect.
+  /// Corrupt input also throws; after a mid-read failure the detector is
+  /// in an unspecified (but memory-safe) state — reset() or discard it.
+  virtual void restore(std::istream&) {
+    throw std::runtime_error(name() + ": snapshot restore not supported");
+  }
 
   /// Routes memory-operation accounting into `ops` (nullptr disables).
   /// Virtual so wrappers can redirect accounting (ShardedDetector keeps a

@@ -314,33 +314,65 @@ void GroupBloomFilter::save(std::ostream& out) const {
   if (!out) throw std::runtime_error("GroupBloomFilter::save: write failed");
 }
 
-std::unique_ptr<GroupBloomFilter> GroupBloomFilter::load(std::istream& in) {
+void GroupBloomFilter::read_header(std::istream& in, WindowSpec& window,
+                                   Options& opts) {
   detail::expect_magic(in, kGbfMagic, "GroupBloomFilter");
-  WindowSpec window;
   window.kind = static_cast<WindowKind>(detail::read_u64(in));
   window.basis = static_cast<WindowBasis>(detail::read_u64(in));
   window.length = detail::read_u64(in);
   window.subwindows = static_cast<std::uint32_t>(detail::read_u64(in));
   window.time_unit_us = detail::read_u64(in);
-  Options opts;
   opts.bits_per_subfilter = detail::read_u64(in);
   opts.hash_count = static_cast<std::size_t>(detail::read_u64(in));
   opts.strategy = static_cast<hashing::IndexStrategy>(detail::read_u64(in));
   opts.seed = detail::read_u64(in);
+}
 
-  auto gbf = std::make_unique<GroupBloomFilter>(window, opts);
-  gbf->current_ = static_cast<std::size_t>(detail::read_u64(in));
-  gbf->cleaning_ = static_cast<std::size_t>(detail::read_u64(in));
-  gbf->clean_row_ = detail::read_u64(in);
-  gbf->fill_count_ = detail::read_u64(in);
-  gbf->current_unit_ = detail::read_u64(in);
-  gbf->units_into_subwindow_ = detail::read_u64(in);
-  gbf->time_started_ = detail::read_u64(in) != 0;
-  const auto words = detail::read_words(in);
-  gbf->matrix_.set_raw_words(words);
-  if (gbf->current_ > gbf->subwindows_ || gbf->cleaning_ > gbf->subwindows_) {
-    throw std::runtime_error("GroupBloomFilter::load: corrupt slot indices");
+void GroupBloomFilter::read_state(std::istream& in) {
+  const std::uint64_t current = detail::read_u64(in);
+  const std::uint64_t cleaning = detail::read_u64(in);
+  if (current > subwindows_ || cleaning > subwindows_) {
+    throw std::runtime_error("GroupBloomFilter: corrupt slot indices");
   }
+  current_ = static_cast<std::size_t>(current);
+  cleaning_ = static_cast<std::size_t>(cleaning);
+  clean_row_ = detail::read_u64(in);
+  fill_count_ = detail::read_u64(in);
+  current_unit_ = detail::read_u64(in);
+  units_into_subwindow_ = detail::read_u64(in);
+  time_started_ = detail::read_u64(in) != 0;
+  const auto words = detail::read_words(in);
+  matrix_.set_raw_words(words);
+}
+
+void GroupBloomFilter::restore(std::istream& in) {
+  WindowSpec window;
+  Options opts;
+  read_header(in, window, opts);
+  if (window.kind != window_.kind || window.basis != window_.basis ||
+      window.length != window_.length ||
+      window.subwindows != window_.subwindows ||
+      window.time_unit_us != window_.time_unit_us) {
+    throw std::runtime_error(
+        "GroupBloomFilter::restore: snapshot window [" + window.describe() +
+        "] does not match this instance [" + window_.describe() + "]");
+  }
+  if (opts.bits_per_subfilter != bits_per_subfilter_ ||
+      opts.hash_count != family_.k() || opts.strategy != family_.strategy() ||
+      opts.seed != family_.seed()) {
+    throw std::runtime_error(
+        "GroupBloomFilter::restore: snapshot filter options (m/k/strategy/"
+        "seed) do not match this instance");
+  }
+  read_state(in);
+}
+
+std::unique_ptr<GroupBloomFilter> GroupBloomFilter::load(std::istream& in) {
+  WindowSpec window;
+  Options opts;
+  read_header(in, window, opts);
+  auto gbf = std::make_unique<GroupBloomFilter>(window, opts);
+  gbf->read_state(in);
   return gbf;
 }
 

@@ -76,7 +76,12 @@ class GroupBloomFilter final : public DuplicateDetector {
 
   /// Serializes the complete detector state (parameters + filter bits) so
   /// a billing replica can checkpoint and resume mid-stream.
-  void save(std::ostream& out) const;
+  void save(std::ostream& out) const override;
+
+  /// Restores state saved by save() into THIS instance; the snapshot's
+  /// window and options must match this detector's construction parameters.
+  /// @throws std::runtime_error on corrupt or mismatched input.
+  void restore(std::istream& in) override;
 
   /// Restores a detector saved by save(). @throws std::runtime_error on a
   /// corrupt or incompatible snapshot.
@@ -89,6 +94,9 @@ class GroupBloomFilter final : public DuplicateDetector {
   }
 
  private:
+  void read_state(std::istream& in);
+  static void read_header(std::istream& in, WindowSpec& window, Options& opts);
+
   void clean_step(std::uint64_t rows);
   void jump();
   void advance_time(std::uint64_t time_us);

@@ -4,7 +4,10 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/snapshot_io.hpp"
 
 namespace ppc::core {
 
@@ -379,6 +382,101 @@ OpCounter ShardedDetector::op_totals() const {
   }
   if (ops_ != nullptr) *ops_ = total;
   return total;
+}
+
+void ShardedDetector::save(std::ostream& out) const {
+  if (engine_ != nullptr) {
+    // In-band barrier: every batch posted before this call is drained and
+    // the owners' release/acquire completion handshake makes all their
+    // shard writes visible to this thread before we read a single bit.
+    engine_->quiesce();
+  }
+  std::ostringstream payload(std::ios::binary);
+  detail::write_u64(payload, shards_.size());
+  detail::write_u64(payload, engine_ != nullptr ? 1 : 0);
+  const WindowSpec agg = window();
+  detail::write_u64(payload, static_cast<std::uint64_t>(agg.kind));
+  detail::write_u64(payload, static_cast<std::uint64_t>(agg.basis));
+  detail::write_u64(payload, agg.length);
+  detail::write_u64(payload, agg.subwindows);
+  detail::write_u64(payload, agg.time_unit_us);
+  for (const Shard& s : shards_) {
+    if (engine_ != nullptr) {
+      s.detector->save(payload);  // owners quiesced above; no lock to take
+    } else {
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      s.detector->save(payload);
+    }
+  }
+  detail::write_section(out, detail::kShardedMagic, payload.str());
+  if (!out) throw std::runtime_error("ShardedDetector::save: write failed");
+}
+
+void ShardedDetector::restore(std::istream& in) {
+  const std::string payload =
+      detail::read_section(in, detail::kShardedMagic, "ShardedDetector");
+  std::istringstream ps(payload, std::ios::binary);
+
+  const std::uint64_t shard_count = detail::read_u64(ps);
+  if (shard_count != shards_.size()) {
+    throw std::runtime_error(
+        "ShardedDetector::restore: snapshot has " +
+        std::to_string(shard_count) + " shards but this instance has " +
+        std::to_string(shards_.size()));
+  }
+  const std::uint64_t engine_flag = detail::read_u64(ps);
+  if (engine_flag > 1) {
+    throw std::runtime_error(
+        "ShardedDetector::restore: corrupt engine-mode flag");
+  }
+  // The engine flag is informational (verdicts are bit-identical across
+  // modes), but the window must match: a count window of a different
+  // aggregate length or a different basis silently changes every verdict.
+  WindowSpec saved;
+  const std::uint64_t kind = detail::read_u64(ps);
+  const std::uint64_t basis = detail::read_u64(ps);
+  if (kind > static_cast<std::uint64_t>(WindowKind::kSliding) ||
+      basis > static_cast<std::uint64_t>(WindowBasis::kTime)) {
+    throw std::runtime_error(
+        "ShardedDetector::restore: corrupt window header");
+  }
+  saved.kind = static_cast<WindowKind>(kind);
+  saved.basis = static_cast<WindowBasis>(basis);
+  saved.length = detail::read_u64(ps);
+  saved.subwindows = static_cast<std::uint32_t>(detail::read_u64(ps));
+  saved.time_unit_us = detail::read_u64(ps);
+  const WindowSpec agg = window();
+  if (saved.kind != agg.kind || saved.basis != agg.basis ||
+      saved.length != agg.length || saved.subwindows != agg.subwindows ||
+      saved.time_unit_us != agg.time_unit_us) {
+    throw std::runtime_error(
+        "ShardedDetector::restore: snapshot window [" + saved.describe() +
+        "] does not match this instance [" + agg.describe() + "]");
+  }
+
+  if (engine_ != nullptr) {
+    // Drain in-flight batches before overwriting shard state. Our writes
+    // below are published to the owner threads by the release/acquire ring
+    // handshake of the next posted batch.
+    engine_->quiesce();
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    try {
+      if (engine_ != nullptr) {
+        shards_[s].detector->restore(ps);
+      } else {
+        const std::lock_guard<std::mutex> lock(shards_[s].mutex);
+        shards_[s].detector->restore(ps);
+      }
+    } catch (const std::exception& e) {
+      throw std::runtime_error("ShardedDetector::restore: shard " +
+                               std::to_string(s) + ": " + e.what());
+    }
+  }
+  if (ps.peek() != std::istringstream::traits_type::eof()) {
+    throw std::runtime_error(
+        "ShardedDetector::restore: trailing bytes after last shard");
+  }
 }
 
 void ShardedDetector::reset() {

@@ -116,6 +116,22 @@ class ShardedDetector final : public DuplicateDetector {
   }
   void reset() override;
 
+  /// Serializes every shard's detector into one versioned, CRC-checked
+  /// section (core/snapshot_io.hpp `kShardedMagic`). Engine mode quiesces
+  /// the owner threads first (in-band barrier), so it is safe to call from
+  /// a producer thread — but like op_totals(), concurrent offer() calls
+  /// from OTHER threads must have stopped.
+  void save(std::ostream& out) const override;
+
+  /// Restores state saved by save() into THIS instance. Refuses snapshots
+  /// whose shard count, engine mode, aggregate window, or inner detector
+  /// options differ from this instance's construction parameters (the
+  /// error names the mismatched dimension). Corrupt sections (bad magic /
+  /// version / length / CRC / trailing bytes) throw std::runtime_error
+  /// before any shard is touched; a nested per-shard failure after that
+  /// leaves the detector in an unspecified (but memory-safe) state.
+  void restore(std::istream& in) override;
+
   /// Installs a per-shard counter in every inner detector; `ops` itself is
   /// only updated by op_totals() (see header comment).
   void set_op_counter(OpCounter* ops) noexcept override;

@@ -3,6 +3,7 @@
 // std::runtime_error rather than silently wrong filter state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <istream>
@@ -72,6 +73,119 @@ inline void expect_magic(std::istream& in, std::uint64_t magic,
   if (read_u64(in) != magic) {
     throw std::runtime_error(std::string("snapshot: bad magic for ") + what);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned, CRC-checked composite sections.
+//
+// Single-filter snapshots (GBF/TBF) keep their original raw field layout for
+// compatibility; everything built ON TOP of them — ShardedDetector,
+// DetectorPool, and the ppcd snapshot file envelope — wraps its payload in a
+// section header so corruption anywhere in a multi-filter file is caught
+// before any state is applied:
+//
+//   u64 magic       section type (see the registry below)
+//   u64 version     format version, currently kSnapshotFormatVersion
+//   u64 byte_count  payload length in bytes
+//   u64 crc         CRC-32 (IEEE 0xEDB88320, same polynomial as the wire
+//                   protocol) of the payload bytes, stored in the low 32
+//                   bits; high 32 bits must be zero
+//   u8[byte_count]  payload
+// ---------------------------------------------------------------------------
+
+/// Registry of section/filter magics ("PPC..." tags in little-endian bytes).
+inline constexpr std::uint64_t kShardedMagic = 0x50504353'48443031ULL;  // "PPCSHD01"
+inline constexpr std::uint64_t kPoolMagic = 0x50504350'4F4F4C31ULL;     // "PPCPOOL1"
+inline constexpr std::uint64_t kServerSnapshotMagic =
+    0x50504353'52563031ULL;  // "PPCSRV01"
+
+inline constexpr std::uint64_t kSnapshotFormatVersion = 1;
+
+/// Hard cap on one section payload: 2 GiB, matching kMaxSnapshotWords.
+inline constexpr std::uint64_t kMaxSectionBytes = std::uint64_t{1} << 31;
+
+// CRC-32 (IEEE 0xEDB88320), compile-time table. Deliberately the same
+// checksum the wire protocol uses (src/server/wire.hpp) so one reference
+// implementation validates both; duplicated here because core cannot
+// depend on server.
+inline constexpr auto kSnapshotCrcTable = [] {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int b = 0; b < 8; ++b) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}();
+
+inline std::uint32_t snapshot_crc32(const char* data, std::size_t len) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kSnapshotCrcTable[(c ^ static_cast<unsigned char>(data[i])) & 0xFF] ^
+        (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// Wraps `payload` in a section header (magic, version, length, CRC) and
+/// writes it to `out`.
+inline void write_section(std::ostream& out, std::uint64_t magic,
+                          const std::string& payload) {
+  write_u64(out, magic);
+  write_u64(out, kSnapshotFormatVersion);
+  write_u64(out, payload.size());
+  write_u64(out, snapshot_crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Reads and validates one section from `in`; returns the payload bytes.
+/// Rejects wrong magic, unknown version, implausible length (absolute cap
+/// plus, on seekable streams, the bytes actually remaining — a forged count
+/// must fail before allocation), and any CRC mismatch.
+inline std::string read_section(std::istream& in, std::uint64_t magic,
+                                const char* what) {
+  expect_magic(in, magic, what);
+  const std::uint64_t version = read_u64(in);
+  if (version != kSnapshotFormatVersion) {
+    throw std::runtime_error(std::string("snapshot: ") + what +
+                             ": unsupported format version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t bytes = read_u64(in);
+  if (bytes > kMaxSectionBytes) {
+    throw std::runtime_error(std::string("snapshot: ") + what +
+                             ": implausible section size " +
+                             std::to_string(bytes));
+  }
+  const std::uint64_t stored_crc = read_u64(in);
+  if (stored_crc > 0xFFFFFFFFull) {
+    throw std::runtime_error(std::string("snapshot: ") + what +
+                             ": corrupt checksum field");
+  }
+  const std::istream::pos_type pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) &&
+        bytes > static_cast<std::uint64_t>(end - pos)) {
+      throw std::runtime_error(std::string("snapshot: ") + what +
+                               ": section size exceeds stream size");
+    }
+  }
+  std::string payload(static_cast<std::size_t>(bytes), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  if (!in) {
+    throw std::runtime_error(std::string("snapshot: ") + what +
+                             ": truncated section payload");
+  }
+  if (snapshot_crc32(payload.data(), payload.size()) != stored_crc) {
+    throw std::runtime_error(std::string("snapshot: ") + what +
+                             ": checksum mismatch (corrupt snapshot)");
+  }
+  return payload;
 }
 
 }  // namespace ppc::core::detail

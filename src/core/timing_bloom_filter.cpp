@@ -299,32 +299,65 @@ void TimingBloomFilter::save(std::ostream& out) const {
   if (!out) throw std::runtime_error("TimingBloomFilter::save: write failed");
 }
 
-std::unique_ptr<TimingBloomFilter> TimingBloomFilter::load(std::istream& in) {
+void TimingBloomFilter::read_header(std::istream& in, WindowSpec& window,
+                                    Options& opts) {
   detail::expect_magic(in, kTbfMagic, "TimingBloomFilter");
-  WindowSpec window;
   window.kind = static_cast<WindowKind>(detail::read_u64(in));
   window.basis = static_cast<WindowBasis>(detail::read_u64(in));
   window.length = detail::read_u64(in);
   window.subwindows = static_cast<std::uint32_t>(detail::read_u64(in));
   window.time_unit_us = detail::read_u64(in);
-  Options opts;
   opts.entries = detail::read_u64(in);
   opts.hash_count = static_cast<std::size_t>(detail::read_u64(in));
   opts.c = detail::read_u64(in);
   opts.strategy = static_cast<hashing::IndexStrategy>(detail::read_u64(in));
   opts.seed = detail::read_u64(in);
+}
 
-  auto tbf = std::make_unique<TimingBloomFilter>(window, opts);
-  tbf->pos_ = detail::read_u64(in);
-  tbf->arrivals_in_tick_ = detail::read_u64(in);
-  tbf->scan_pos_ = detail::read_u64(in);
-  tbf->last_abs_unit_ = detail::read_u64(in);
-  tbf->started_ = detail::read_u64(in) != 0;
-  const auto words = detail::read_words(in);
-  tbf->table_.set_raw_words(words);
-  if (tbf->pos_ >= tbf->wrap_ || tbf->scan_pos_ >= tbf->table_.size()) {
-    throw std::runtime_error("TimingBloomFilter::load: corrupt cursor state");
+void TimingBloomFilter::read_state(std::istream& in) {
+  const std::uint64_t pos = detail::read_u64(in);
+  const std::uint64_t arrivals = detail::read_u64(in);
+  const std::uint64_t scan = detail::read_u64(in);
+  if (pos >= wrap_ || scan >= table_.size()) {
+    throw std::runtime_error("TimingBloomFilter: corrupt cursor state");
   }
+  pos_ = pos;
+  arrivals_in_tick_ = arrivals;
+  scan_pos_ = scan;
+  last_abs_unit_ = detail::read_u64(in);
+  started_ = detail::read_u64(in) != 0;
+  const auto words = detail::read_words(in);
+  table_.set_raw_words(words);
+}
+
+void TimingBloomFilter::restore(std::istream& in) {
+  WindowSpec window;
+  Options opts;
+  read_header(in, window, opts);
+  if (window.kind != window_.kind || window.basis != window_.basis ||
+      window.length != window_.length ||
+      window.subwindows != window_.subwindows ||
+      window.time_unit_us != window_.time_unit_us) {
+    throw std::runtime_error(
+        "TimingBloomFilter::restore: snapshot window [" + window.describe() +
+        "] does not match this instance [" + window_.describe() + "]");
+  }
+  if (opts.entries != table_.size() || opts.hash_count != family_.k() ||
+      opts.c != c_ || opts.strategy != family_.strategy() ||
+      opts.seed != family_.seed()) {
+    throw std::runtime_error(
+        "TimingBloomFilter::restore: snapshot filter options (m/k/C/strategy/"
+        "seed) do not match this instance");
+  }
+  read_state(in);
+}
+
+std::unique_ptr<TimingBloomFilter> TimingBloomFilter::load(std::istream& in) {
+  WindowSpec window;
+  Options opts;
+  read_header(in, window, opts);
+  auto tbf = std::make_unique<TimingBloomFilter>(window, opts);
+  tbf->read_state(in);
   return tbf;
 }
 

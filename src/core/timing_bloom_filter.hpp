@@ -82,7 +82,12 @@ class TimingBloomFilter final : public DuplicateDetector {
 
   /// Serializes the complete detector state (parameters + timestamp table)
   /// so a billing replica can checkpoint and resume mid-stream.
-  void save(std::ostream& out) const;
+  void save(std::ostream& out) const override;
+
+  /// Restores state saved by save() into THIS instance; the snapshot's
+  /// window and options must match this detector's construction parameters.
+  /// @throws std::runtime_error on corrupt or mismatched input.
+  void restore(std::istream& in) override;
 
   /// Restores a detector saved by save(). @throws std::runtime_error on a
   /// corrupt or incompatible snapshot.
@@ -99,6 +104,9 @@ class TimingBloomFilter final : public DuplicateDetector {
         pos_ >= entry_value ? pos_ - entry_value : pos_ - entry_value + wrap_;
     return age < window_ticks_;
   }
+
+  void read_state(std::istream& in);
+  static void read_header(std::istream& in, WindowSpec& window, Options& opts);
 
   void clean_entries(std::uint64_t count);
   void advance_tick();

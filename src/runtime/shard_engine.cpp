@@ -138,6 +138,10 @@ void ShardEngine::broadcast_control(void (*fn)(void* ctx, std::size_t owner),
   release_lane(lane);
 }
 
+void ShardEngine::quiesce() {
+  broadcast_control([](void*, std::size_t) {}, nullptr);
+}
+
 bool ShardEngine::drain_owner_rings(std::size_t owner, bool stopping) {
   bool any = false;
   ShardEngineMsg msg;

@@ -134,6 +134,14 @@ class ShardEngine {
   /// receives after.
   void broadcast_control(void (*fn)(void* ctx, std::size_t owner), void* ctx);
 
+  /// In-band no-op barrier: returns once every owner has drained all
+  /// batches posted before this call. The owners' release fetch_sub on the
+  /// completion counter paired with the caller's acquire wait gives the
+  /// calling thread an acquire edge on every owner write — after quiesce()
+  /// the caller may READ shard state (e.g. to snapshot it) without racing
+  /// owner threads, provided no other producer posts concurrently.
+  void quiesce();
+
  private:
   /// Park/wake state, one cache line per owner.
   struct alignas(64) OwnerCtl {

@@ -1,6 +1,15 @@
 #include "server/ingest_server.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/snapshot_io.hpp"
 
 namespace ppc::server {
 
@@ -150,7 +159,97 @@ void IngestServer::flush_pending() {
 IngestServer::Stats IngestServer::drain(int flush_timeout_ms) {
   flush_pending();
   loop_.flush_all_blocking(flush_timeout_ms);
+  // Snapshot LAST: every accepted click has its verdict delivered and is
+  // inside the saved window state, so a restore resumes exactly where the
+  // verdict stream stopped.
+  if (!opts_.snapshot_path.empty()) {
+    save_sink_snapshot(sink_, opts_.snapshot_path);
+  }
   return stats();
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void IngestServer::save_sink_snapshot(const ClickSink& sink,
+                                      const std::string& path) {
+  std::ostringstream payload(std::ios::binary);
+  sink.save_state(payload);
+  std::ostringstream file(std::ios::binary);
+  core::detail::write_section(file, core::detail::kServerSnapshotMagic,
+                              payload.str());
+  const std::string bytes = file.str();
+
+  // Atomic publish: write + fsync a sibling temp file, then rename() it
+  // over the target — readers see either the old snapshot or the complete
+  // new one, never a torn write.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("snapshot: cannot create", tmp);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("snapshot: write failed to", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("snapshot: fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("snapshot: close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("snapshot: rename failed to", path);
+  }
+  // Best-effort directory fsync so the rename itself is durable; ignore
+  // failure (some filesystems refuse O_RDONLY directory fsync).
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void IngestServer::restore_sink_snapshot(ClickSink& sink,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("snapshot: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  restore_sink_snapshot(sink, in);
+}
+
+void IngestServer::restore_sink_snapshot(ClickSink& sink, std::istream& in) {
+  const std::string payload = core::detail::read_section(
+      in, core::detail::kServerSnapshotMagic, "server snapshot");
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(
+        "snapshot: trailing bytes after server snapshot section");
+  }
+  std::istringstream ps(payload, std::ios::binary);
+  sink.restore_state(ps);
+  if (ps.peek() != std::istringstream::traits_type::eof()) {
+    throw std::runtime_error(
+        "snapshot: trailing bytes after sink state (corrupt snapshot)");
+  }
 }
 
 }  // namespace ppc::server

@@ -42,6 +42,18 @@ class ClickSink {
                      std::span<const std::uint64_t> times,
                      std::span<bool> out) = 0;
   virtual std::string describe() const = 0;
+
+  /// Serializes the sink's detector state (see save_sink_snapshot below for
+  /// the file envelope + atomic-write protocol). Call only while no clicks
+  /// are being offered — after run() returned and the pending batch flushed.
+  virtual void save_state(std::ostream&) const {
+    throw std::runtime_error(describe() + ": snapshot save not supported");
+  }
+  /// Restores state saved by save_state() into this sink's detectors; the
+  /// sink configuration must match the saving sink's (mismatches throw).
+  virtual void restore_state(std::istream&) {
+    throw std::runtime_error(describe() + ": snapshot restore not supported");
+  }
 };
 
 /// Feeds one detector shared by every ad (ad ids ignored) through the
@@ -58,6 +70,8 @@ class DetectorSink final : public ClickSink {
     detector_.offer_batch(ids, times, out);
   }
   std::string describe() const override { return detector_.name(); }
+  void save_state(std::ostream& out) const override { detector_.save(out); }
+  void restore_state(std::istream& in) override { detector_.restore(in); }
 
  private:
   core::DuplicateDetector& detector_;
@@ -79,6 +93,8 @@ class PoolSink final : public ClickSink {
   std::string describe() const override {
     return "DetectorPool[" + std::to_string(pool_.size()) + " ads]";
   }
+  void save_state(std::ostream& out) const override { pool_.save(out); }
+  void restore_state(std::istream& in) override { pool_.restore(in); }
 
  private:
   adnet::DetectorPool& pool_;
@@ -91,6 +107,11 @@ class IngestServer final : public ConnectionHandler {
     /// Flush the coalesced pending batch once it holds this many clicks
     /// (it also flushes at the end of every dispatch round regardless).
     std::size_t flush_clicks = 16384;
+    /// When non-empty, drain() writes the sink's detector state here
+    /// (atomically: temp file + fsync + rename) after the final flush —
+    /// the SIGTERM snapshot-on-drain path. A failed write throws out of
+    /// drain() AFTER all verdicts were delivered.
+    std::string snapshot_path;
     EventLoop::Options loop;
   };
 
@@ -117,8 +138,26 @@ class IngestServer final : public ConnectionHandler {
   void stop() noexcept { loop_.stop(); }
   /// After run() returns: flush the pending batch so every accepted click
   /// has a verdict, push remaining reply bytes out with blocking writes,
-  /// and return the final totals — the SIGTERM graceful-drain path.
+  /// write the sink snapshot if Options::snapshot_path is set, and return
+  /// the final totals — the SIGTERM graceful-drain path.
   Stats drain(int flush_timeout_ms = 2000);
+
+  /// Writes `sink`'s state to `path` atomically: the payload is wrapped in
+  /// a versioned CRC-checked file envelope (core/snapshot_io.hpp
+  /// `kServerSnapshotMagic`), written to `path + ".tmp"`, fsync'd, and
+  /// renamed over `path` — a crash mid-write leaves the previous snapshot
+  /// intact. Throws std::runtime_error (with errno text) on any failure.
+  static void save_sink_snapshot(const ClickSink& sink,
+                                 const std::string& path);
+
+  /// Loads a snapshot written by save_sink_snapshot into `sink`, validating
+  /// the file envelope (magic/version/length/CRC, no trailing bytes) before
+  /// any detector state is touched. Mismatched sink configuration or a
+  /// corrupt file throws std::runtime_error.
+  static void restore_sink_snapshot(ClickSink& sink, const std::string& path);
+  /// Stream variant of restore_sink_snapshot (tests; `what` names the
+  /// source in errors).
+  static void restore_sink_snapshot(ClickSink& sink, std::istream& in);
 
   Stats stats() const noexcept {
     return {clicks_.load(std::memory_order_relaxed),

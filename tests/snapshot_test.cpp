@@ -5,9 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <sstream>
+#include <string>
 
+#include "adnet/detector_pool.hpp"
 #include "core/group_bloom_filter.hpp"
+#include "core/sharded_detector.hpp"
+#include "core/snapshot_io.hpp"
 #include "core/timing_bloom_filter.hpp"
 #include "detector_test_util.hpp"
 
@@ -172,6 +177,375 @@ TEST(Snapshot, RejectsTruncatedInput) {
   const std::string full = buffer.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(TimingBloomFilter::load(truncated), std::runtime_error);
+}
+
+TEST(Snapshot, InstanceRestoreRejectsMismatchedParameters) {
+  const auto w = WindowSpec::jumping_count(512, 4);
+  GroupBloomFilter saved(w, gbf_opts());
+  saved.offer(1);
+  std::stringstream buffer;
+  saved.save(buffer);
+  const std::string bytes = buffer.str();
+
+  {  // different window length
+    GroupBloomFilter other(WindowSpec::jumping_count(1024, 4), gbf_opts());
+    std::stringstream in(bytes);
+    EXPECT_THROW(other.restore(in), std::runtime_error);
+  }
+  {  // different filter sizing
+    auto o = gbf_opts();
+    o.bits_per_subfilter = 1 << 13;
+    GroupBloomFilter other(w, o);
+    std::stringstream in(bytes);
+    EXPECT_THROW(other.restore(in), std::runtime_error);
+  }
+  {  // different seed — indices would be garbage even though sizes match
+    auto o = gbf_opts();
+    o.seed = 10;
+    GroupBloomFilter other(w, o);
+    std::stringstream in(bytes);
+    EXPECT_THROW(other.restore(in), std::runtime_error);
+  }
+  {  // matching instance restores fine
+    GroupBloomFilter other(w, gbf_opts());
+    std::stringstream in(bytes);
+    EXPECT_NO_THROW(other.restore(in));
+    EXPECT_TRUE(other.offer(1));  // saved click visible after restore
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation fuzz of the composite (sectioned, CRC-checked) snapshot formats
+// — ShardedDetector and DetectorPool — in the wire_fuzz_test.cpp style:
+// every truncation point, every byte flipped with several deltas, forged
+// counts with RECOMPUTED checksums, and trailing garbage must all throw
+// (never crash, never silently accept).
+// ---------------------------------------------------------------------------
+
+/// Tiny sharded GBF so the full snapshot is ~1 KB and the per-byte fuzz
+/// loops stay fast. `threads` > 1 + kSpscOwner exercises the engine path.
+std::unique_ptr<ShardedDetector> make_tiny_sharded(
+    std::size_t shards,
+    ShardedDetector::EngineMode mode = ShardedDetector::EngineMode::kMutex,
+    std::uint64_t window_len = 256, std::uint64_t seed = 9) {
+  ShardedDetector::Options opts;
+  opts.engine = mode;
+  opts.threads = mode == ShardedDetector::EngineMode::kSpscOwner ? 2 : 1;
+  return std::make_unique<ShardedDetector>(
+      shards,
+      [&](std::size_t) {
+        GroupBloomFilter::Options o;
+        o.bits_per_subfilter = 1 << 10;
+        o.hash_count = 3;
+        o.seed = seed;
+        return std::make_unique<GroupBloomFilter>(
+            WindowSpec::jumping_count(window_len / shards, 4), o);
+      },
+      opts);
+}
+
+std::string saved_bytes(DuplicateDetector& d) {
+  std::stringstream buffer;
+  d.save(buffer);
+  return buffer.str();
+}
+
+TEST(ShardedSnapshotFuzz, EveryTruncationRejected) {
+  auto sharded = make_tiny_sharded(2);
+  const auto ids = testutil::make_id_stream(600, 0.3, 256, 5);
+  for (const auto id : ids) sharded->offer(id);
+  const std::string bytes = saved_bytes(*sharded);
+
+  auto target = make_tiny_sharded(2);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream in(bytes.substr(0, len));
+    EXPECT_THROW(target->restore(in), std::exception) << "length " << len;
+  }
+  std::stringstream intact(bytes);
+  EXPECT_NO_THROW(target->restore(intact));
+}
+
+TEST(ShardedSnapshotFuzz, EveryByteFlipRejected) {
+  auto sharded = make_tiny_sharded(2);
+  const auto ids = testutil::make_id_stream(600, 0.3, 256, 6);
+  for (const auto id : ids) sharded->offer(id);
+  const std::string bytes = saved_bytes(*sharded);
+
+  auto target = make_tiny_sharded(2);
+  // Any single corrupted byte must be caught: the section header fields by
+  // their explicit validation, the payload (shard headers, cursors, filter
+  // words — all of it) by the CRC.
+  for (const std::uint8_t delta : {0x01, 0x80, 0xff}) {
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ delta);
+      std::stringstream in(mutated);
+      EXPECT_THROW(target->restore(in), std::exception)
+          << "byte " << pos << " ^ " << int{delta};
+    }
+  }
+}
+
+/// Re-wraps a forged payload with a VALID header + CRC, so only the
+/// payload-level validation stands between the forgery and the filter.
+std::string rewrap(std::uint64_t magic, const std::string& payload) {
+  std::stringstream out;
+  detail::write_section(out, magic, payload);
+  return out.str();
+}
+
+/// Extracts the (already CRC-verified) payload from a saved section.
+std::string unwrap(std::uint64_t magic, const std::string& bytes,
+                   const char* what) {
+  std::stringstream in(bytes);
+  return detail::read_section(in, magic, what);
+}
+
+TEST(ShardedSnapshotFuzz, ForgedShardCountWithValidCrcRejected) {
+  auto sharded = make_tiny_sharded(2);
+  sharded->offer(1);
+  std::string payload =
+      unwrap(detail::kShardedMagic, saved_bytes(*sharded), "fuzz");
+
+  auto target = make_tiny_sharded(2);
+  for (const std::uint64_t forged_count : {0ull, 1ull, 3ull, 4096ull,
+                                           ~0ull}) {
+    std::string forged = payload;
+    std::memcpy(forged.data(), &forged_count, 8);
+    std::stringstream in(rewrap(detail::kShardedMagic, forged));
+    EXPECT_THROW(target->restore(in), std::exception)
+        << "count " << forged_count;
+  }
+}
+
+TEST(ShardedSnapshotFuzz, TrailingPayloadGarbageRejected) {
+  auto sharded = make_tiny_sharded(2);
+  sharded->offer(1);
+  std::string payload =
+      unwrap(detail::kShardedMagic, saved_bytes(*sharded), "fuzz");
+  payload += "extra";
+  auto target = make_tiny_sharded(2);
+  std::stringstream in(rewrap(detail::kShardedMagic, payload));
+  EXPECT_THROW(target->restore(in), std::runtime_error);
+}
+
+TEST(ShardedSnapshotFuzz, RandomGarbageRejected) {
+  auto target = make_tiny_sharded(2);
+  std::uint64_t x = 0x243F6A8885A308D3ull;  // deterministic xorshift
+  for (int round = 0; round < 64; ++round) {
+    std::string garbage(64 + round * 17, '\0');
+    for (auto& c : garbage) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      c = static_cast<char>(x);
+    }
+    std::stringstream in(garbage);
+    EXPECT_THROW(target->restore(in), std::exception) << "round " << round;
+  }
+}
+
+TEST(ShardedSnapshot, RejectsMismatchedInstanceOptions) {
+  auto sharded = make_tiny_sharded(2);
+  sharded->offer(1);
+  const std::string bytes = saved_bytes(*sharded);
+
+  {  // shard count mismatch names the dimension
+    auto target = make_tiny_sharded(4);
+    std::stringstream in(bytes);
+    try {
+      target->restore(in);
+      FAIL() << "restore accepted a 2-shard snapshot into 4 shards";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("shards"), std::string::npos)
+          << e.what();
+    }
+  }
+  {  // window mismatch (different aggregate count length)
+    auto target = make_tiny_sharded(2, ShardedDetector::EngineMode::kMutex,
+                                    /*window_len=*/512);
+    std::stringstream in(bytes);
+    try {
+      target->restore(in);
+      FAIL() << "restore accepted a mismatched window";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("window"), std::string::npos)
+          << e.what();
+    }
+  }
+  {  // inner detector option mismatch (different seed) surfaces shard context
+    auto target = make_tiny_sharded(2, ShardedDetector::EngineMode::kMutex,
+                                    256, /*seed=*/10);
+    std::stringstream in(bytes);
+    try {
+      target->restore(in);
+      FAIL() << "restore accepted mismatched inner options";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("shard 0"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ShardedSnapshot, MutexSnapshotRestoresIntoEngineInstanceAndViceVersa) {
+  // The engine flag is informational — verdicts are bit-identical across
+  // modes, so a mutex-mode snapshot may seed an engine-mode instance.
+  auto mutex_inst = make_tiny_sharded(2, ShardedDetector::EngineMode::kMutex);
+  const auto ids = testutil::make_id_stream(400, 0.3, 128, 7);
+  for (const auto id : ids) mutex_inst->offer(id);
+  const std::string bytes = saved_bytes(*mutex_inst);
+
+  auto engine_inst =
+      make_tiny_sharded(2, ShardedDetector::EngineMode::kSpscOwner);
+  std::stringstream in(bytes);
+  ASSERT_NO_THROW(engine_inst->restore(in));
+  for (std::size_t i = 0; i < 200; ++i) {
+    const ClickId id = ids[i % ids.size()];
+    ASSERT_EQ(engine_inst->offer(id), mutex_inst->offer(id)) << "click " << i;
+  }
+
+  const std::string engine_bytes = saved_bytes(*engine_inst);
+  auto mutex_back = make_tiny_sharded(2, ShardedDetector::EngineMode::kMutex);
+  std::stringstream back(engine_bytes);
+  ASSERT_NO_THROW(mutex_back->restore(back));
+}
+
+// --- DetectorPool composite format --------------------------------------
+
+adnet::DetectorPool make_tiny_pool(std::uint64_t seed = 9) {
+  return adnet::DetectorPool([seed](std::uint32_t) {
+    GroupBloomFilter::Options o;
+    o.bits_per_subfilter = 1 << 10;
+    o.hash_count = 3;
+    o.seed = seed;
+    return std::make_unique<GroupBloomFilter>(WindowSpec::jumping_count(64, 4),
+                                              o);
+  });
+}
+
+std::string saved_pool_bytes(adnet::DetectorPool& pool) {
+  std::stringstream buffer;
+  pool.save(buffer);
+  return buffer.str();
+}
+
+TEST(PoolSnapshotFuzz, EveryTruncationAndByteFlipRejected) {
+  adnet::DetectorPool pool = make_tiny_pool();
+  for (std::uint32_t ad : {7u, 3u, 900u}) {
+    for (std::uint64_t i = 0; i < 50; ++i) pool.offer(ad, i % 20, 0);
+  }
+  const std::string bytes = saved_pool_bytes(pool);
+
+  adnet::DetectorPool target = make_tiny_pool();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream in(bytes.substr(0, len));
+    EXPECT_THROW(target.restore(in), std::exception) << "length " << len;
+  }
+  for (const std::uint8_t delta : {0x01, 0x80, 0xff}) {
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ delta);
+      std::stringstream in(mutated);
+      EXPECT_THROW(target.restore(in), std::exception)
+          << "byte " << pos << " ^ " << int{delta};
+    }
+  }
+  std::stringstream intact(bytes);
+  EXPECT_NO_THROW(target.restore(intact));
+  EXPECT_EQ(target.size(), 3u);
+}
+
+TEST(PoolSnapshotFuzz, ForgedAdCountsWithValidCrcRejected) {
+  adnet::DetectorPool pool = make_tiny_pool();
+  pool.offer(7, 1, 0);
+  pool.offer(9, 2, 0);
+  const std::string payload =
+      unwrap(detail::kPoolMagic, saved_pool_bytes(pool), "fuzz");
+
+  // Count larger than the ads present → runs off the payload; count
+  // smaller → trailing bytes; absurd → implausible-count guard.
+  for (const std::uint64_t forged_count : {1ull, 3ull, 4096ull, ~0ull}) {
+    std::string forged = payload;
+    std::memcpy(forged.data(), &forged_count, 8);
+    adnet::DetectorPool target = make_tiny_pool();
+    std::stringstream in(rewrap(detail::kPoolMagic, forged));
+    EXPECT_THROW(target.restore(in), std::exception)
+        << "count " << forged_count;
+  }
+}
+
+TEST(PoolSnapshotFuzz, OutOfOrderAdIdsRejected) {
+  adnet::DetectorPool pool = make_tiny_pool();
+  pool.offer(7, 1, 0);
+  const std::string payload =
+      unwrap(detail::kPoolMagic, saved_pool_bytes(pool), "fuzz");
+
+  // Duplicate the single (ad, detector) record and bump the count to 2:
+  // the second record's ad id (7 again) is not strictly ascending.
+  std::string forged = payload;
+  const std::uint64_t two = 2;
+  std::memcpy(forged.data(), &two, 8);
+  forged += payload.substr(8);
+  adnet::DetectorPool target = make_tiny_pool();
+  std::stringstream in(rewrap(detail::kPoolMagic, forged));
+  try {
+    target.restore(in);
+    FAIL() << "restore accepted duplicate ad records";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("out of order"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PoolSnapshot, RoundTripPreservesEveryAdsWindow) {
+  adnet::DetectorPool pool = make_tiny_pool();
+  const auto ids = testutil::make_id_stream(900, 0.4, 64, 8);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    pool.offer(static_cast<std::uint32_t>(i % 3), ids[i], 0);
+  }
+  const std::string bytes = saved_pool_bytes(pool);
+
+  adnet::DetectorPool resumed = make_tiny_pool();
+  std::stringstream in(bytes);
+  resumed.restore(in);
+  ASSERT_EQ(resumed.size(), pool.size());
+  ASSERT_EQ(resumed.memory_bits(), pool.memory_bits());
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto ad = static_cast<std::uint32_t>(i % 3);
+    const ClickId id = ids[i];
+    ASSERT_EQ(resumed.offer(ad, id, 0), pool.offer(ad, id, 0))
+        << "click " << i;
+  }
+}
+
+TEST(PoolSnapshot, RestoreEnforcesMemoryCap) {
+  adnet::DetectorPool pool = make_tiny_pool();
+  for (std::uint32_t ad = 0; ad < 4; ++ad) pool.offer(ad, 1, 0);
+  const std::string bytes = saved_pool_bytes(pool);
+
+  // A pool whose cap fits only two of the four saved detectors must refuse
+  // with the same length_error live creation throws.
+  GroupBloomFilter probe(WindowSpec::jumping_count(64, 4), [] {
+    GroupBloomFilter::Options o;
+    o.bits_per_subfilter = 1 << 10;
+    o.hash_count = 3;
+    o.seed = 9;
+    return o;
+  }());
+  adnet::DetectorPoolOptions small_cap;
+  small_cap.memory_cap_bits = probe.memory_bits() * 2;
+  adnet::DetectorPool target(
+      [](std::uint32_t) {
+        GroupBloomFilter::Options o;
+        o.bits_per_subfilter = 1 << 10;
+        o.hash_count = 3;
+        o.seed = 9;
+        return std::make_unique<GroupBloomFilter>(
+            WindowSpec::jumping_count(64, 4), o);
+      },
+      small_cap);
+  std::stringstream in(bytes);
+  EXPECT_THROW(target.restore(in), std::length_error);
 }
 
 }  // namespace

@@ -12,11 +12,12 @@
 #      the SIMD and scalar index kernels fails here);
 #   4. a ThreadSanitizer build (PPC_SANITIZE=thread) of the concurrency
 #      tests — sharded_test, runtime_test, parallel_batch_test,
-#      batch_times_test, spsc_ring_test, engine_equivalence_test, plus the
+#      batch_times_test, spsc_ring_test, engine_equivalence_test, the
 #      network ingest pair wire_fuzz_test / server_e2e_test (event loop
-#      thread vs client threads) — so every PR touching the parallel
-#      ingestion paths gets a race check; the engine-sensitive ones run
-#      under TSan in both engine defaults.
+#      thread vs client threads), and durability_test (snapshot save/restore
+#      quiesces engine owner threads and drives full daemon restarts) — so
+#      every PR touching the parallel ingestion paths gets a race check;
+#      the engine-sensitive ones run under TSan in both engine defaults.
 #
 # Usage: tools/check.sh [--tsan-only]
 set -euo pipefail
@@ -28,12 +29,12 @@ TSAN_ONLY=0
 
 TSAN_TESTS=(sharded_test runtime_test parallel_batch_test batch_times_test
             spsc_ring_test engine_equivalence_test wire_fuzz_test
-            server_e2e_test)
+            server_e2e_test durability_test)
 # Tests whose ShardedDetectors default to kAuto and therefore change
 # behaviour under PPC_ENGINE_DEFAULT=ON (the rest construct their mode
 # explicitly or don't touch ShardedDetector at all).
 ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test
-                        server_e2e_test)
+                        server_e2e_test durability_test)
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   echo "== tier-1: build + ctest =="

@@ -3,6 +3,7 @@
 //   ppcd --listen=127.0.0.1:4817 --window=jumping:1048576:8 [--memory-mib=16]
 //        [--hashes=7] [--sink=pool|sharded] [--shards=8] [--owners=2]
 //        [--engine=auto|on|off] [--flush=16384] [--sndbuf=BYTES]
+//        [--snapshot=PATH] [--restore=PATH]
 //
 // Serves the wire protocol of src/server/wire.hpp on one epoll thread.
 // --sink=pool (default) routes clicks by ad id through an
@@ -13,6 +14,13 @@
 // graceful drain: the pending coalesced batch is flushed through the
 // detector, every owed verdict frame is pushed out with blocking writes,
 // and an op-count summary is printed before exit.
+//
+// Durability: --snapshot=PATH writes the sink's complete window state at
+// drain time (atomically: PATH.tmp + fsync + rename), and --restore=PATH
+// seeds the freshly built sink from such a file before listening — a
+// restart resumes its decaying windows instead of forgetting the last N
+// clicks. A restore whose window spec, shard count, or detector kind does
+// not match the command line is refused with a clear error.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -46,7 +54,11 @@ namespace {
       "  --engine=auto|on|off lock-free owner engine for sharded detectors\n"
       "  --flush=N            coalesced-batch flush threshold (default 16384)\n"
       "  --sndbuf=BYTES       shrink per-connection SO_SNDBUF (tests)\n"
-      "  --memory-cap-mib=M   DetectorPool total budget (default 1024)\n",
+      "  --memory-cap-mib=M   DetectorPool total budget (default 1024)\n"
+      "  --snapshot=PATH      write window state here on graceful drain\n"
+      "                       (atomic: PATH.tmp + fsync + rename)\n"
+      "  --restore=PATH       seed window state from a snapshot before\n"
+      "                       listening (must match --window/--shards/--sink)\n",
       argv0);
   std::exit(2);
 }
@@ -116,6 +128,7 @@ int main(int argc, char** argv) {
 
     server::IngestServer::Options opts;
     opts.flush_clicks = flag_u64(flags, "flush", 16384);
+    opts.snapshot_path = flag(flags, "snapshot", "");
     opts.loop.sndbuf_bytes =
         static_cast<int>(flag_u64(flags, "sndbuf", 0));
 
@@ -139,6 +152,14 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
 
+    const std::string restore_path = flag(flags, "restore", "");
+    if (!restore_path.empty()) {
+      server::IngestServer::restore_sink_snapshot(*sink, restore_path);
+      std::printf("ppcd: restored window state from %s\n",
+                  restore_path.c_str());
+      std::fflush(stdout);
+    }
+
     server::IngestServer srv(*sink, opts);
     const std::uint16_t bound = srv.listen(host, port);
     g_server = &srv;
@@ -156,6 +177,9 @@ int main(int argc, char** argv) {
     const auto t0 = std::chrono::steady_clock::now();
     srv.run();
     const auto st = srv.drain();
+    if (!opts.snapshot_path.empty()) {
+      std::printf("ppcd: snapshot written to %s\n", opts.snapshot_path.c_str());
+    }
     const auto ls = srv.loop_stats();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
