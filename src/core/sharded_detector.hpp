@@ -147,6 +147,11 @@ class ShardedDetector final : public DuplicateDetector {
     if (engine_ != nullptr) return engine_->owner_count();
     return pool_ ? pool_->thread_count() : 1;
   }
+  /// Thread-safe in both synchronization designs: per-shard mutexes
+  /// serialize same-shard offers, and the owner engine leases a private
+  /// lane per producer thread.
+  bool concurrent_offers() const noexcept override { return true; }
+
   /// True when this instance runs the lock-free owner-pinned engine.
   bool engine_mode() const noexcept { return engine_ != nullptr; }
   /// Which shard an identifier routes to (stable across calls).

@@ -36,11 +36,18 @@ class BlockingClient {
   /// make the client a deliberately slow consumer this way).
   void set_rcvbuf(int bytes) noexcept { rcvbuf_ = bytes; }
 
+  /// When > 0, shrink SO_SNDBUF before connecting (set alongside
+  /// set_rcvbuf for a symmetric kernel-buffer budget on the client side).
+  void set_sndbuf(int bytes) noexcept { sndbuf_ = bytes; }
+
   void connect(const std::string& host, std::uint16_t port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) throw_errno("socket");
     if (rcvbuf_ > 0) {
       setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_, sizeof(rcvbuf_));
+    }
+    if (sndbuf_ > 0) {
+      setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &sndbuf_, sizeof(sndbuf_));
     }
     const int one = 1;
     setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -56,6 +63,8 @@ class BlockingClient {
   }
 
   /// HELLO / HELLO_ACK version handshake; throws on mismatch or close.
+  /// Records the accepting loop's id (loop_id()) from a multi-loop
+  /// server's HELLO_ACK; a legacy 4-byte ack reads as loop 0.
   void handshake(std::uint32_t version = wire::kProtocolVersion) {
     scratch_.clear();
     wire::append_hello(scratch_, version);
@@ -66,10 +75,15 @@ class BlockingClient {
     }
     std::uint32_t acked = 0;
     std::string err;
-    if (!wire::parse_version(frame.payload, acked, err) || acked != version) {
+    if (!wire::parse_hello_ack(frame.payload, acked, loop_id_, err) ||
+        acked != version) {
       throw std::runtime_error("BlockingClient: bad HELLO_ACK: " + err);
     }
   }
+
+  /// The server event loop that accepted this connection (valid after
+  /// handshake(); 0 for single-loop or pre-multi-loop servers).
+  std::uint32_t loop_id() const noexcept { return loop_id_; }
 
   void send_raw(std::span<const std::uint8_t> bytes) {
     std::size_t sent = 0;
@@ -91,6 +105,17 @@ class BlockingClient {
     send_raw(scratch_);
   }
 
+  /// Columnar batch send for callers that keep clicks in flat arrays —
+  /// identical frame bytes to send_click_batch.
+  void send_click_batch_cols(std::uint64_t seq, std::uint32_t count,
+                             const std::uint32_t* ads,
+                             const std::uint64_t* ids,
+                             const std::uint64_t* times) {
+    scratch_.clear();
+    wire::append_click_batch_cols(scratch_, seq, count, ads, ids, times);
+    send_raw(scratch_);
+  }
+
   void send_ping(std::uint64_t token) {
     scratch_.clear();
     wire::append_ping(scratch_, token);
@@ -107,17 +132,24 @@ class BlockingClient {
   /// (valid until the next read_frame call). Returns false on orderly EOF
   /// with an empty buffer; throws on malformed frames or socket errors.
   bool read_frame(wire::FrameView& frame) {
-    // Drop the previously returned frame before decoding the next.
-    if (last_consumed_ > 0) {
-      rbuf_.erase(rbuf_.begin(),
-                  rbuf_.begin() + static_cast<std::ptrdiff_t>(last_consumed_));
-      last_consumed_ = 0;
+    // Drop the previously returned frame: advance a cursor instead of
+    // erasing the vector's front (which would memmove the whole tail for
+    // every frame on a busy verdict stream).
+    rpos_ += last_consumed_;
+    last_consumed_ = 0;
+    if (rpos_ >= rlen_) {
+      rpos_ = 0;
+      rlen_ = 0;
+    } else if (rpos_ > rlen_ / 2 && rpos_ > 4096) {
+      std::memmove(rbuf_.data(), rbuf_.data() + rpos_, rlen_ - rpos_);
+      rlen_ -= rpos_;
+      rpos_ = 0;
     }
     while (true) {
       std::size_t consumed = 0;
       std::string error;
-      const wire::DecodeStatus status =
-          wire::decode_frame(rbuf_, frame, consumed, error);
+      const wire::DecodeStatus status = wire::decode_frame(
+          {rbuf_.data() + rpos_, rlen_ - rpos_}, frame, consumed, error);
       if (status == wire::DecodeStatus::kFrame) {
         last_consumed_ = consumed;
         return true;
@@ -125,20 +157,21 @@ class BlockingClient {
       if (status == wire::DecodeStatus::kError) {
         throw std::runtime_error("BlockingClient: " + error);
       }
-      std::uint8_t chunk[64 * 1024];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      constexpr std::size_t kChunk = 64 * 1024;
+      if (rbuf_.size() < rlen_ + kChunk) rbuf_.resize(rlen_ + kChunk);
+      const ssize_t n = ::recv(fd_, rbuf_.data() + rlen_, kChunk, 0);
       if (n < 0) {
         if (errno == EINTR) continue;
         throw_errno("recv");
       }
       if (n == 0) {
-        if (!rbuf_.empty()) {
+        if (rlen_ > rpos_) {
           throw std::runtime_error(
               "BlockingClient: connection closed mid-frame");
         }
         return false;
       }
-      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      rlen_ += static_cast<std::size_t>(n);
     }
   }
 
@@ -159,7 +192,11 @@ class BlockingClient {
 
   int fd_ = -1;
   int rcvbuf_ = 0;
-  std::vector<std::uint8_t> rbuf_;
+  int sndbuf_ = 0;
+  std::uint32_t loop_id_ = 0;
+  std::vector<std::uint8_t> rbuf_;  ///< size is capacity; rlen_ is valid
+  std::size_t rlen_ = 0;
+  std::size_t rpos_ = 0;
   std::size_t last_consumed_ = 0;
   std::vector<std::uint8_t> scratch_;
 };

@@ -10,6 +10,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -37,20 +38,30 @@ void set_nonblocking(int fd) {
 
 void Connection::consume(std::size_t n) noexcept {
   rpos_ += n;
-  if (rpos_ >= rbuf_.size()) {
-    rbuf_.clear();
+  // While pending ingest spans pin the buffer, only the cursor moves; the
+  // reclaim below runs when release_read_buffer() re-enters with held_ off.
+  if (held_) return;
+  if (rpos_ >= rlen_) {
+    rlen_ = 0;
     rpos_ = 0;
-  } else if (rpos_ > rbuf_.size() / 2 && rpos_ > 4096) {
+  } else if (rpos_ > rlen_ / 2 && rpos_ > 4096) {
     // Compact once the consumed prefix dominates, so the buffer does not
     // creep rightward forever under a long-lived connection.
-    rbuf_.erase(rbuf_.begin(),
-                rbuf_.begin() + static_cast<std::ptrdiff_t>(rpos_));
+    std::memmove(rbuf_.data(), rbuf_.data() + rpos_, rlen_ - rpos_);
+    rlen_ -= rpos_;
     rpos_ = 0;
   }
 }
 
+void Connection::append_out(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  if (wbuf_.size() < wlen_ + n) wbuf_.resize(wlen_ + n);
+  std::memcpy(wbuf_.data() + wlen_, data, n);
+  wlen_ += n;
+}
+
 void Connection::send(std::span<const std::uint8_t> bytes) {
-  wbuf_.insert(wbuf_.end(), bytes.begin(), bytes.end());
+  append_out(bytes.data(), bytes.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -80,11 +91,20 @@ EventLoop::~EventLoop() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
-std::uint16_t EventLoop::listen(const std::string& host, std::uint16_t port) {
+std::uint16_t EventLoop::listen(const std::string& host, std::uint16_t port,
+                                bool reuseport) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   const int one = 1;
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+    // Must be set before bind on EVERY socket sharing the port — the first
+    // listener included — or the kernel refuses the second bind.
+    if (setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      throw_errno("setsockopt(SO_REUSEPORT)");
+    }
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -124,6 +144,11 @@ void EventLoop::stop() noexcept {
 Connection* EventLoop::find(std::uint64_t id) noexcept {
   const auto it = conns_.find(id);
   return it == conns_.end() || it->second->dead ? nullptr : it->second.get();
+}
+
+Connection* EventLoop::find_any(std::uint64_t id) noexcept {
+  const auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
 }
 
 void EventLoop::run() {
@@ -188,6 +213,10 @@ void EventLoop::accept_ready() {
       setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sndbuf_bytes,
                  sizeof(opts_.sndbuf_bytes));
     }
+    if (opts_.rcvbuf_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &opts_.rcvbuf_bytes,
+                 sizeof(opts_.rcvbuf_bytes));
+    }
     auto conn = std::make_unique<Connection>();
     conn->id_ = next_id_++;
     conn->fd_ = fd;
@@ -207,29 +236,32 @@ void EventLoop::accept_ready() {
 
 void EventLoop::conn_readable(Connection& conn) {
   while (!conn.dead && !conn.closing_) {
-    const std::size_t unconsumed = conn.rbuf_.size() - conn.rpos_;
+    const std::size_t unconsumed = conn.rlen_ - conn.rpos_;
     if (unconsumed >= opts_.max_read_buffer) {
       mark_dead(conn, "read buffer cap exceeded (handler not consuming)");
       return;
     }
-    const std::size_t old_size = conn.rbuf_.size();
-    conn.rbuf_.resize(old_size + opts_.read_chunk);
+    // rbuf_.size() is capacity; grow it only when the valid bytes approach
+    // it (resize value-initializes just the newly exposed tail, and the
+    // high-water mark means that is a one-time cost per connection, not a
+    // per-read memset).
+    if (conn.rbuf_.size() < conn.rlen_ + opts_.read_chunk) {
+      conn.rbuf_.resize(conn.rlen_ + opts_.read_chunk);
+    }
     const ssize_t n =
-        ::read(conn.fd_, conn.rbuf_.data() + old_size, opts_.read_chunk);
+        ::read(conn.fd_, conn.rbuf_.data() + conn.rlen_, opts_.read_chunk);
     if (n < 0) {
-      conn.rbuf_.resize(old_size);
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       mark_dead(conn, std::string("read error: ") + std::strerror(errno));
       return;
     }
     if (n == 0) {
-      conn.rbuf_.resize(old_size);
       flush_writes(conn);
       mark_dead(conn, "peer closed");
       return;
     }
-    conn.rbuf_.resize(old_size + static_cast<std::size_t>(n));
+    conn.rlen_ += static_cast<std::size_t>(n);
     bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                         std::memory_order_relaxed);
     std::string why;
@@ -266,12 +298,77 @@ void EventLoop::flush_writes(Connection& conn) {
                          std::memory_order_relaxed);
   }
   if (conn.pending_write_bytes() == 0) {
-    conn.wbuf_.clear();
+    conn.wlen_ = 0;
     conn.wpos_ = 0;
-  } else if (conn.wpos_ > conn.wbuf_.size() / 2 && conn.wpos_ > 4096) {
-    conn.wbuf_.erase(conn.wbuf_.begin(),
-                     conn.wbuf_.begin() + static_cast<std::ptrdiff_t>(conn.wpos_));
+  } else if (conn.wpos_ > conn.wlen_ / 2 && conn.wpos_ > 4096) {
+    std::memmove(conn.wbuf_.data(), conn.wbuf_.data() + conn.wpos_,
+                 conn.wlen_ - conn.wpos_);
+    conn.wlen_ -= conn.wpos_;
     conn.wpos_ = 0;
+  }
+  update_interest(conn);
+}
+
+void EventLoop::send_vectored(Connection& conn,
+                              std::span<const OutSlice> slices) {
+  if (conn.dead) return;
+  std::size_t idx = 0;  // first slice not fully written
+  std::size_t off = 0;  // progress within slices[idx]
+  // The direct writev path is only correct when nothing is queued ahead of
+  // these bytes; otherwise append in order behind the queue.
+  if (conn.pending_write_bytes() == 0 && !conn.closing_) {
+    while (idx < slices.size()) {
+      iovec iov[64];
+      int cnt = 0;
+      for (std::size_t i = idx; i < slices.size() && cnt < 64; ++i) {
+        const std::size_t skip = i == idx ? off : 0;
+        if (slices[i].len <= skip) continue;  // empty slice
+        iov[cnt].iov_base =
+            const_cast<std::uint8_t*>(slices[i].data + skip);
+        iov[cnt].iov_len = slices[i].len - skip;
+        ++cnt;
+      }
+      if (cnt == 0) break;  // nothing but empties left
+      std::size_t batch_bytes = 0;
+      for (int k = 0; k < cnt; ++k) batch_bytes += iov[k].iov_len;
+      const ssize_t n = ::writev(conn.fd_, iov, cnt);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        mark_dead(conn, std::string("writev error: ") + std::strerror(errno));
+        return;
+      }
+      bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+      std::size_t adv = static_cast<std::size_t>(n);
+      while (idx < slices.size() && adv > 0) {
+        const std::size_t avail = slices[idx].len - off;
+        if (adv < avail) {
+          off += adv;
+          adv = 0;
+        } else {
+          adv -= avail;
+          ++idx;
+          off = 0;
+        }
+      }
+      // Skip any fully-written or empty slices the cursor landed on.
+      while (idx < slices.size() && slices[idx].len - off == 0) {
+        ++idx;
+        off = 0;
+      }
+      if (static_cast<std::size_t>(n) < batch_bytes) {
+        // Partial write: the socket buffer is full, so retrying now would
+        // just spin on EAGAIN; buffer the rest.
+        break;
+      }
+    }
+  }
+  // Whatever did not reach the socket is copied behind the write buffer so
+  // the normal flush path delivers it in order.
+  for (; idx < slices.size(); ++idx) {
+    conn.append_out(slices[idx].data + off, slices[idx].len - off);
+    off = 0;
   }
   update_interest(conn);
 }
@@ -311,7 +408,11 @@ void EventLoop::mark_dead(Connection& conn, const std::string& reason) {
 }
 
 void EventLoop::reap_dead() {
-  for (const auto& [id, reason] : dead_) {
+  // Index loop with a copied entry: on_close may flush pending ingest
+  // state, and that flush can mark FURTHER connections dead (write
+  // errors), growing dead_ mid-sweep — those are reaped in this same pass.
+  for (std::size_t i = 0; i < dead_.size(); ++i) {
+    const auto [id, reason] = dead_[i];
     const auto it = conns_.find(id);
     if (it == conns_.end()) continue;
     handler_.on_close(*it->second, reason);

@@ -2,10 +2,14 @@
 //
 // One thread owns the listener, every connection, and the epoll instance;
 // handlers run inline on that thread, so per-connection state needs no
-// locking and the loop thread can act as the single producer into the
-// lock-free shard engine (runtime/shard_engine.hpp). The only cross-thread
-// entry point is stop(), which is async-signal-safe (one eventfd write) so
-// a SIGTERM handler may call it directly.
+// locking and the loop thread can act as a single producer into the
+// lock-free shard engine (runtime/shard_engine.hpp). Multiple EventLoops
+// may serve one port concurrently by passing reuseport=true to listen():
+// each loop gets its own SO_REUSEPORT listener and the kernel spreads
+// accepted connections across them — loops share nothing, so the
+// one-thread-owns-everything invariant holds per loop. The only
+// cross-thread entry point is stop(), which is async-signal-safe (one
+// eventfd write) so a SIGTERM handler may call it directly.
 //
 // Backpressure: each connection carries an elastic write buffer. When a
 // peer stops draining its replies and the buffer crosses
@@ -31,6 +35,15 @@ namespace ppc::server {
 
 class ConnectionHandler;
 
+/// One span of bytes for a vectored send. The pointed-at bytes must stay
+/// valid only for the duration of the EventLoop::send_vectored call (any
+/// unsent remainder is copied into the connection's write buffer before it
+/// returns).
+struct OutSlice {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+
 /// One accepted socket plus its elastic buffers. Owned by the EventLoop;
 /// handlers receive references that are valid only during the callback
 /// (hold on to the id, never the pointer).
@@ -42,9 +55,23 @@ class Connection {
   /// Bytes received but not yet consumed by the handler. decode from
   /// data(), then consume(n) what was parsed.
   std::span<const std::uint8_t> readable() const noexcept {
-    return {rbuf_.data() + rpos_, rbuf_.size() - rpos_};
+    return {rbuf_.data() + rpos_, rlen_ - rpos_};
   }
   void consume(std::size_t n) noexcept;
+
+  /// Zero-copy ingest support. While the buffer is held, consume() only
+  /// advances the consumed cursor — it never compacts or resets the
+  /// backing storage — so a byte offset into buffer_base() taken before
+  /// consume() still addresses the same bytes after it. The storage may
+  /// still GROW (reallocate) when more data arrives, which is why spans
+  /// into the buffer are recorded as offsets and re-resolved against
+  /// buffer_base() at use time, never kept as raw pointers.
+  void hold_read_buffer() noexcept { held_ = true; }
+  void release_read_buffer() noexcept {
+    held_ = false;
+    consume(0);  // run the deferred reclaim with consistent accounting
+  }
+  const std::uint8_t* buffer_base() const noexcept { return rbuf_.data(); }
 
   /// Queues bytes for transmission (copies into the write buffer; the
   /// loop flushes opportunistically). Loop-thread only.
@@ -53,9 +80,7 @@ class Connection {
   /// Flush whatever is queued, then close. No further reads are processed.
   void close_after_flush() noexcept { closing_ = true; }
 
-  std::size_t pending_write_bytes() const noexcept {
-    return wbuf_.size() - wpos_;
-  }
+  std::size_t pending_write_bytes() const noexcept { return wlen_ - wpos_; }
   bool reads_paused() const noexcept { return reads_paused_; }
 
   /// Per-connection ingest accounting (maintained by the handler).
@@ -66,12 +91,22 @@ class Connection {
  private:
   friend class EventLoop;
 
+  void append_out(const std::uint8_t* data, std::size_t n);
+
   std::uint64_t id_ = 0;
   int fd_ = -1;
+  // Both buffers split valid length from vector size: the vector's size is
+  // treated as capacity and only ever grows, while rlen_/wlen_ track the
+  // bytes that are actually valid. resize() value-initializes, so reusing
+  // slack instead of re-resizing per read() keeps a 128 KiB memset off
+  // every receive call.
   std::vector<std::uint8_t> rbuf_;
+  std::size_t rlen_ = 0;  ///< valid bytes in rbuf_
   std::size_t rpos_ = 0;  ///< consumed prefix of rbuf_
   std::vector<std::uint8_t> wbuf_;
+  std::size_t wlen_ = 0;  ///< valid bytes in wbuf_
   std::size_t wpos_ = 0;  ///< transmitted prefix of wbuf_
+  bool held_ = false;          ///< read buffer pinned by pending spans
   bool reads_paused_ = false;
   bool closing_ = false;       ///< close once wbuf drains
   bool dead = false;           ///< queued for removal this dispatch round
@@ -99,12 +134,17 @@ class EventLoop {
   struct Options {
     std::size_t high_watermark = 4u << 20;  ///< pause reads above this
     std::size_t low_watermark = 1u << 20;   ///< resume reads below this
-    std::size_t read_chunk = 64u << 10;     ///< bytes per read() attempt
+    std::size_t read_chunk = 128u << 10;    ///< bytes per read() attempt
     std::size_t max_read_buffer = 8u << 20; ///< unconsumed cap → close
     /// When > 0, shrink each accepted socket's kernel send buffer
     /// (SO_SNDBUF) so tests can force the userspace backpressure path
     /// without pushing megabytes through loopback.
     int sndbuf_bytes = 0;
+    /// When > 0, shrink each accepted socket's kernel receive buffer
+    /// (SO_RCVBUF). Paired with a small client-side SO_SNDBUF this bounds
+    /// the in-flight input, so a backpressure pause provably stalls the
+    /// sender instead of the kernel absorbing the whole stream.
+    int rcvbuf_bytes = 0;
   };
 
   struct Stats {
@@ -128,9 +168,13 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Binds and listens on host:port (port 0 picks an ephemeral port).
+  /// With reuseport=true the socket is bound with SO_REUSEPORT so several
+  /// loops can listen on the same port and let the kernel balance accepts
+  /// (every loop sharing the port must set it, including the first).
   /// Returns the actually-bound port. @throws std::runtime_error on any
   /// socket failure.
-  std::uint16_t listen(const std::string& host, std::uint16_t port);
+  std::uint16_t listen(const std::string& host, std::uint16_t port,
+                       bool reuseport = false);
 
   /// Runs until stop(). May be called from a dedicated thread.
   void run();
@@ -141,6 +185,19 @@ class EventLoop {
 
   /// Loop-thread only: connection by id (nullptr once closed).
   Connection* find(std::uint64_t id) noexcept;
+
+  /// Like find(), but also returns connections already marked dead this
+  /// round (their buffers are alive until reap). The ingest flush uses
+  /// this to resolve pending spans into a connection that errored after
+  /// queueing clicks but before the round-end flush.
+  Connection* find_any(std::uint64_t id) noexcept;
+
+  /// Vectored send: writes the slices straight to the socket with writev
+  /// when nothing is queued ahead of them, copying only the unsent
+  /// remainder into the write buffer if the socket would block mid-iovec.
+  /// Falls back to a plain buffered append when bytes are already queued
+  /// (ordering) or the connection is closing.
+  void send_vectored(Connection& conn, std::span<const OutSlice> slices);
 
   /// After run() returns: best-effort synchronous flush of every
   /// connection's remaining write buffer (sockets switched back to

@@ -1,26 +1,47 @@
 // IngestServer: the click-stream service on top of EventLoop + wire.hpp.
 //
-// Frames are decoded on the loop thread; CLICK_BATCH clicks from ALL
-// connections are coalesced into one flat pending batch (ids, ad ids,
-// per-click timestamps, plus a reply record per frame). The batch is
-// flushed through a ClickSink — once it reaches Options::flush_clicks, and
-// at the end of every dispatch round so latency never exceeds one epoll
-// iteration — and the verdict bits are scattered back into per-connection
-// VERDICT_BATCH replies in frame order. With an engine-mode
-// ShardedDetector (or a DetectorPool of them) behind the sink, the loop
-// thread is a pure producer into the PR-3 SPSC rings: it never takes a
-// shard lock, it only posts bucketized runs and waits for owners.
+// The server runs Options::loops event loops, each with its own
+// SO_REUSEPORT listener on the shared port (the kernel balances accepted
+// connections across them) and each with its own private decode state, so
+// a loop thread never takes a lock on the frame path. CLICK_BATCH frames
+// are recorded ZERO-COPY: the handler validates the frame, then remembers
+// {connection, byte offset, count} — the click records stay in the
+// connection's receive buffer (pinned against compaction, re-resolved by
+// offset so buffer growth cannot dangle a pointer) until the flush
+// deinterleaves them straight into the flat columns offer_batch consumes.
+// Verdict frames are encoded into a per-loop arena and handed to the
+// socket with writev (EventLoop::send_vectored), skipping the per-frame
+// reply-buffer copy.
+//
+// The batch is flushed through a ClickSink once it reaches
+// Options::flush_clicks, and at the end of every dispatch round so latency
+// never exceeds one epoll iteration. With an engine-mode ShardedDetector
+// (or a DetectorPool of them) behind the sink, each loop thread is an
+// independent producer into the PR-3 SPSC rings — lane leasing gives every
+// producer its own lane, so multi-loop ingest adds no synchronization on
+// the filter path. Sinks that are NOT safe for concurrent offers
+// (ClickSink::concurrent() == false) are serialized behind one mutex when
+// loops > 1; single-loop servers never touch that mutex.
 //
 // Ordering guarantees: clicks of one connection reach the sink in exactly
-// the order sent (frames are parsed FIFO, the pending batch preserves
-// append order, and a frame is never split across flushes). Clicks of
-// DIFFERENT connections interleave arbitrarily; clients that need
-// replay-exact verdicts keep each identifier population on one connection
-// (the load generator gives each connection its own ad for this reason).
+// the order sent (a connection lives on one loop for its whole life,
+// frames are parsed FIFO, the pending records preserve append order, and a
+// frame is never split across flushes). Clicks of DIFFERENT connections
+// interleave arbitrarily; clients that need replay-exact verdicts keep
+// each identifier population on one connection (the load generator gives
+// each connection its own ad for this reason).
+//
+// Shutdown is a cross-loop quiesce: stop() halts every loop, run() joins
+// the loop threads, and only then does drain() flush each loop's pending
+// batch, push the final reply bytes with blocking writes, and (optionally)
+// write the sink snapshot — single-threaded by construction, so the
+// snapshot is atomic across loops and DRAIN_ACK totals stay exact.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,8 +53,10 @@
 
 namespace ppc::server {
 
-/// Where decoded clicks go. Implementations are driven from the loop
-/// thread only; `out[i]` must be set to true iff click i is a duplicate.
+/// Where decoded clicks go. `out[i]` must be set to true iff click i is a
+/// duplicate. Implementations advertise via concurrent() whether offer()
+/// may be driven from several loop threads at once; when it may not, the
+/// multi-loop server serializes offers externally.
 class ClickSink {
  public:
   virtual ~ClickSink() = default;
@@ -42,6 +65,11 @@ class ClickSink {
                      std::span<const std::uint64_t> times,
                      std::span<bool> out) = 0;
   virtual std::string describe() const = 0;
+
+  /// Whether offer() tolerates concurrent callers (thread-safe detectors
+  /// all the way down). Defaults to no — the safe answer for the plain
+  /// paper detectors.
+  virtual bool concurrent() const { return false; }
 
   /// Serializes the sink's detector state (see save_sink_snapshot below for
   /// the file envelope + atomic-write protocol). Call only while no clicks
@@ -70,6 +98,7 @@ class DetectorSink final : public ClickSink {
     detector_.offer_batch(ids, times, out);
   }
   std::string describe() const override { return detector_.name(); }
+  bool concurrent() const override { return detector_.concurrent_offers(); }
   void save_state(std::ostream& out) const override { detector_.save(out); }
   void restore_state(std::istream& in) override { detector_.restore(in); }
 
@@ -81,9 +110,16 @@ class DetectorSink final : public ClickSink {
 /// per-ad detectors) with per-click timestamps.
 class PoolSink final : public ClickSink {
  public:
+  /// `concurrent_detectors` asserts that the pool's factory builds
+  /// individually thread-safe detectors (e.g. core::ShardedDetector): the
+  /// pool's map is internally locked either way, but per-ad detectors are
+  /// not, so concurrent offers for one ad are only safe when the detector
+  /// itself is.
   explicit PoolSink(adnet::DetectorPool& pool,
-                    runtime::ThreadPool* fanout = nullptr)
-      : pool_(pool), fanout_(fanout) {}
+                    runtime::ThreadPool* fanout = nullptr,
+                    bool concurrent_detectors = false)
+      : pool_(pool), fanout_(fanout),
+        concurrent_detectors_(concurrent_detectors) {}
   void offer(std::span<const std::uint32_t> ad_ids,
              std::span<const core::ClickId> ids,
              std::span<const std::uint64_t> times,
@@ -93,20 +129,30 @@ class PoolSink final : public ClickSink {
   std::string describe() const override {
     return "DetectorPool[" + std::to_string(pool_.size()) + " ads]";
   }
+  bool concurrent() const override {
+    // A shared fan-out pool would have two loops pushing groups into the
+    // same worker queue mid-batch; keep that combination serialized.
+    return concurrent_detectors_ && fanout_ == nullptr;
+  }
   void save_state(std::ostream& out) const override { pool_.save(out); }
   void restore_state(std::istream& in) override { pool_.restore(in); }
 
  private:
   adnet::DetectorPool& pool_;
   runtime::ThreadPool* fanout_;
+  bool concurrent_detectors_;
 };
 
-class IngestServer final : public ConnectionHandler {
+class IngestServer final {
  public:
   struct Options {
     /// Flush the coalesced pending batch once it holds this many clicks
     /// (it also flushes at the end of every dispatch round regardless).
     std::size_t flush_clicks = 16384;
+    /// Event loops, each with its own SO_REUSEPORT listener and thread.
+    /// 1 keeps the classic single-threaded server (no SO_REUSEPORT, no
+    /// sink mutex). Loops > 1 require run() to be the only driver.
+    std::size_t loops = 1;
     /// When non-empty, drain() writes the sink's detector state here
     /// (atomically: temp file + fsync + rename) after the final flush —
     /// the SIGTERM snapshot-on-drain path. A failed write throws out of
@@ -127,19 +173,30 @@ class IngestServer final : public ConnectionHandler {
 
   explicit IngestServer(ClickSink& sink) : IngestServer(sink, Options{}) {}
   IngestServer(ClickSink& sink, Options opts);
+  ~IngestServer();
 
-  /// Binds; returns the bound port (0 in → ephemeral out).
-  std::uint16_t listen(const std::string& host, std::uint16_t port) {
-    return loop_.listen(host, port);
-  }
-  /// Serves until stop(); run from a dedicated thread or main.
-  void run() { loop_.run(); }
-  /// Async-signal-safe shutdown request.
-  void stop() noexcept { loop_.stop(); }
-  /// After run() returns: flush the pending batch so every accepted click
-  /// has a verdict, push remaining reply bytes out with blocking writes,
-  /// write the sink snapshot if Options::snapshot_path is set, and return
-  /// the final totals — the SIGTERM graceful-drain path.
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds every loop's listener; returns the bound port (0 in →
+  /// ephemeral out; the remaining loops then bind the resolved port with
+  /// SO_REUSEPORT).
+  std::uint16_t listen(const std::string& host, std::uint16_t port);
+
+  /// Serves until stop(). Runs loop 0 on the calling thread and spawns one
+  /// thread per additional loop; returns once every loop has stopped and
+  /// its thread joined (rethrowing the first loop failure, if any).
+  void run();
+
+  /// Async-signal-safe shutdown request (one eventfd write per loop).
+  void stop() noexcept;
+
+  /// After run() returns: flush every loop's pending batch so each
+  /// accepted click has a verdict, push remaining reply bytes out with
+  /// blocking writes, write the sink snapshot if Options::snapshot_path is
+  /// set, and return the final totals — the SIGTERM graceful-drain path.
+  /// Single-threaded: every loop thread has already joined, which is the
+  /// cross-loop quiesce barrier that makes the snapshot atomic.
   Stats drain(int flush_timeout_ms = 2000);
 
   /// Writes `sink`'s state to `path` atomically: the payload is wrapped in
@@ -168,41 +225,26 @@ class IngestServer final : public ConnectionHandler {
             pings_.load(std::memory_order_relaxed),
             drains_.load(std::memory_order_relaxed)};
   }
-  EventLoop::Stats loop_stats() const noexcept { return loop_.stats(); }
-  std::uint16_t port() const noexcept { return loop_.port(); }
-
-  // ConnectionHandler (loop thread only):
-  bool on_data(Connection& conn, std::string& why) override;
-  void on_close(Connection& conn, const std::string& reason) override;
-  void on_round_end() override;
+  /// Aggregated socket-level stats, summed across loops.
+  EventLoop::Stats loop_stats() const noexcept;
+  /// Socket-level stats of one loop (0 <= loop < loops()).
+  EventLoop::Stats loop_stats(std::size_t loop) const noexcept;
+  std::size_t loops() const noexcept;
+  std::uint16_t port() const noexcept;
 
  private:
-  /// One CLICK_BATCH frame awaiting verdicts: `count` clicks starting at
-  /// `offset` in the pending arrays, owed to connection `conn_id` as a
-  /// VERDICT_BATCH with sequence `seq`.
-  struct PendingReply {
-    std::uint64_t conn_id;
-    std::uint64_t seq;
-    std::uint32_t count;
-    std::size_t offset;
-    bool drain_after;  ///< send DRAIN_ACK after this frame's verdicts
-  };
+  class LoopWorker;
 
-  bool handle_frame(Connection& conn, const wire::FrameView& frame,
-                    std::string& why);
-  void flush_pending();
+  void offer_to_sink(std::span<const std::uint32_t> ad_ids,
+                     std::span<const core::ClickId> ids,
+                     std::span<const std::uint64_t> times,
+                     std::span<bool> out);
 
   ClickSink& sink_;
   Options opts_;
-  EventLoop loop_;
-
-  // The coalesced pending batch (loop thread only).
-  std::vector<std::uint32_t> pending_ads_;
-  std::vector<core::ClickId> pending_ids_;
-  std::vector<std::uint64_t> pending_times_;
-  std::vector<PendingReply> pending_replies_;
-  std::vector<char> verdicts_;          ///< flush scratch (bool-compatible)
-  std::vector<std::uint8_t> reply_buf_; ///< frame-encode scratch
+  bool serialize_offers_ = false;  ///< loops > 1 and sink not concurrent
+  std::mutex sink_mu_;             ///< guards offers when serialize_offers_
+  std::vector<std::unique_ptr<LoopWorker>> workers_;
 
   std::atomic<std::uint64_t> clicks_{0};
   std::atomic<std::uint64_t> duplicates_{0};

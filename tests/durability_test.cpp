@@ -497,6 +497,101 @@ TEST(DaemonDurability, PoolSinkDrainRestartRestoreMatchesOracle) {
   }
 }
 
+// A multi-loop daemon must drain to the SAME snapshot a single-loop daemon
+// writes for the same click sequence: the cross-loop quiesce flushes every
+// loop before the one snapshot is taken, so loop count is invisible to
+// durability. Clients run sequentially (one at a time) so both runs feed
+// each ad's detector the identical click order regardless of which loop
+// accepts which connection.
+TEST(DaemonDurability, MultiLoopDrainSnapshotBitIdenticalToSingleLoop) {
+  server::DetectorConfig cfg;
+  cfg.window = WindowSpec::jumping_count(4096, 8);
+  cfg.memory_bits = std::uint64_t{1} << 18;
+  constexpr std::size_t kAds = 3;
+  constexpr std::size_t kPerAd = 4'000;
+  std::vector<std::vector<server::wire::ClickRecord>> streams(kAds);
+  for (std::size_t a = 0; a < kAds; ++a) {
+    streams[a] = make_clicks(static_cast<std::uint32_t>(a + 1), kPerAd,
+                             80 + a);
+  }
+  const std::size_t half = kPerAd / 2;
+
+  const auto make_pool = [&cfg] {
+    return adnet::DetectorPool(
+        [cfg](std::uint32_t) { return server::build_detector(cfg); });
+  };
+  // Serve each ad's sub-stream on its own SEQUENTIAL connection.
+  const auto serve_streams = [&](server::ClickSink& sink, std::size_t loops,
+                                 bool first_half, const std::string& snap,
+                                 std::vector<std::vector<bool>>& out) {
+    server::IngestServer::Options opts;
+    opts.snapshot_path = snap;
+    opts.loops = loops;
+    server::IngestServer srv(sink, opts);
+    const std::uint16_t port = srv.listen("127.0.0.1", 0);
+    std::thread loop([&] { srv.run(); });
+    for (std::size_t a = 0; a < kAds; ++a) {
+      server::BlockingClient client;
+      client.connect("127.0.0.1", port);
+      client.handshake();
+      const std::span<const server::wire::ClickRecord> part =
+          first_half ? std::span(streams[a]).first(half)
+                     : std::span(streams[a]).subspan(half);
+      send_and_collect(client, part, out[a]);
+    }
+    srv.stop();
+    loop.join();
+    srv.drain();
+  };
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream raw;
+    raw << in.rdbuf();
+    return raw.str();
+  };
+
+  const std::string snap1 = ::testing::TempDir() + "/loops1.snap";
+  const std::string snap2 = ::testing::TempDir() + "/loops2.snap";
+  std::vector<std::vector<bool>> got1(kAds), got2(kAds);
+  {
+    adnet::DetectorPool pool = make_pool();
+    server::PoolSink sink(pool);
+    serve_streams(sink, 1, /*first_half=*/true, snap1, got1);
+  }
+  {
+    adnet::DetectorPool pool = make_pool();
+    server::PoolSink sink(pool);
+    serve_streams(sink, 2, /*first_half=*/true, snap2, got2);
+  }
+  for (std::size_t a = 0; a < kAds; ++a) {
+    ASSERT_EQ(got1[a], got2[a]) << "phase-1 verdicts diverge for ad " << a;
+  }
+  const std::string bytes1 = slurp(snap1);
+  const std::string bytes2 = slurp(snap2);
+  ASSERT_FALSE(bytes1.empty());
+  ASSERT_EQ(bytes1, bytes2)
+      << "multi-loop drain produced a different snapshot";
+
+  // Restore the multi-loop snapshot into a fresh multi-loop daemon for the
+  // second half; concatenated verdicts must equal a per-ad oracle that
+  // never restarted.
+  {
+    adnet::DetectorPool pool = make_pool();
+    server::PoolSink sink(pool);
+    server::IngestServer::restore_sink_snapshot(sink, snap2);
+    serve_streams(sink, 2, /*first_half=*/false, "", got2);
+  }
+  for (std::size_t a = 0; a < kAds; ++a) {
+    ASSERT_EQ(got2[a].size(), kPerAd);
+    auto oracle = server::build_detector(cfg);
+    for (std::size_t i = 0; i < kPerAd; ++i) {
+      ASSERT_EQ(got2[a][i],
+                oracle->offer(streams[a][i].click_id, streams[a][i].t_us))
+          << "ad " << a << " diverged at click " << i;
+    }
+  }
+}
+
 // --- snapshot FILE envelope: atomicity + mutation fuzz --------------------
 
 TEST(SnapshotFile, WriteIsAtomicAndTmpFileIsCleanedUp) {

@@ -34,7 +34,9 @@ class LoopbackServer {
                           IngestServer::Options opts = {})
       : cfg_(cfg),
         pool_([cfg](std::uint32_t) { return build_detector(cfg); }),
-        sink_(pool_),
+        // Sharded per-ad detectors are individually thread-safe, so a
+        // multi-loop server may offer concurrently (mirrors ppcd).
+        sink_(pool_, nullptr, /*concurrent_detectors=*/cfg.shards > 1),
         server_(sink_, opts) {
     port_ = server_.listen("127.0.0.1", 0);
     thread_ = std::thread([this] { server_.run(); });
@@ -242,17 +244,33 @@ TEST(ServerE2E, BackpressurePausesReadsAndLosesNothing) {
   const DetectorConfig cfg = gbf_config();
   IngestServer::Options opts;
   opts.loop.sndbuf_bytes = 4096;     // replies jam in a 4 KiB kernel buffer
+  // Bound the input side too, but at 64 KiB: a loopback TCP segment can
+  // carry up to ~64 KiB, and a receive buffer smaller than one segment
+  // makes the kernel DROP segments outright — the connection then crawls
+  // through exponential retransmission backoff (observed: rto 13 s,
+  // cwnd 1) instead of flowing, and the sender eventually dies with
+  // ETIMEDOUT. 64 KiB is ≥ one segment yet ≪ the input stream, which is
+  // all the determinism below needs.
+  opts.loop.rcvbuf_bytes = 64 * 1024;
   opts.loop.high_watermark = 16384;  // ...then in a 16 KiB userspace buffer
   opts.loop.low_watermark = 4096;
   LoopbackServer server(cfg, opts);
 
   // Verdicts are one BIT per click, so backlog needs per-frame overhead to
   // build: tiny 8-click frames make the reply stream ~22 bytes per frame,
-  // ~110 KiB total — far past the 16 KiB watermark while the client is
+  // ~165 KiB total — far past the 16 KiB watermark while the client is
   // not reading.
-  const auto clicks = make_clicks(1, 40'000, 21);
+  const auto clicks = make_clicks(1, 60'000, 21);
   BlockingClient client;
   client.set_rcvbuf(4096);  // the client side jams quickly too
+  // Bounded client SO_SNDBUF + bounded server SO_RCVBUF: at most ~256 KiB
+  // of the ~1.35 MiB input stream can hide in kernel buffers, so the
+  // sender can only finish after the server consumed ≥ 1 MiB — by which
+  // point the generated replies (~130 KiB) dwarf the ~48 KiB of kernel +
+  // watermark headroom and the pause has provably fired. Without these
+  // bounds the sender could outrun the server into auto-tuned multi-MiB
+  // buffers and finish with zero pauses (a real flake on a 1-core host).
+  client.set_sndbuf(64 * 1024);
   client.connect("127.0.0.1", server.port());
   client.handshake();
 
@@ -445,6 +463,176 @@ TEST(ServerE2E, GracefulDrainDeliversAllPendingVerdicts) {
   }
   EXPECT_EQ(verdict_count, clicks.size())
       << "graceful drain dropped verdicts";
+}
+
+// Multi-loop server (2 SO_REUSEPORT loops), six connections each with its
+// own ad, over an engine-sensitive sharded pool (kAuto: check.sh runs this
+// under both engine defaults). Whatever loop the kernel hands each
+// connection to, its verdict stream must match ITS OWN sequential replay,
+// and its DRAIN_ACK totals must be exact at the drain's stream position.
+TEST(ServerE2E, MultiLoopVerdictsPerAdExactWithExactDrainTotals) {
+  DetectorConfig cfg = gbf_config();
+  cfg.shards = 4;
+  cfg.owners = 2;
+  cfg.engine = core::ShardedDetector::EngineMode::kAuto;
+  IngestServer::Options opts;
+  opts.loops = 2;
+  LoopbackServer server(cfg, opts);
+  constexpr int kConns = 6;
+  constexpr std::size_t kClicksPerConn = 6'000;
+
+  std::vector<std::vector<wire::ClickRecord>> clicks(kConns);
+  std::vector<std::vector<bool>> got(kConns);
+  std::vector<std::uint32_t> loop_ids(kConns, 0xffffffffu);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConns; ++c) {
+    clicks[c] = make_clicks(static_cast<std::uint32_t>(c + 1), kClicksPerConn,
+                            200 + c);
+    threads.emplace_back([&, c] {
+      BlockingClient client;
+      client.connect("127.0.0.1", server.port());
+      client.handshake();
+      loop_ids[c] = client.loop_id();
+      send_and_collect(client, clicks[c], 300 + 100 * c, got[c]);
+      // DRAIN mid-stream of the connection: totals must be exact HERE.
+      client.send_drain();
+      wire::FrameView frame;
+      ASSERT_TRUE(client.read_frame(frame));
+      ASSERT_EQ(frame.type, wire::FrameType::kDrainAck);
+      std::uint64_t total = 0, dups = 0;
+      std::string err;
+      ASSERT_TRUE(wire::parse_drain_ack(frame.payload, total, dups, err))
+          << err;
+      EXPECT_EQ(total, clicks[c].size()) << "connection " << c;
+      EXPECT_EQ(dups, static_cast<std::uint64_t>(std::count(
+                          got[c].begin(), got[c].end(), true)))
+          << "connection " << c;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kConns; ++c) {
+    // Every HELLO_ACK names a real loop. (Which loop the kernel picks is
+    // its business — ppc_loadgen --loops asserts the spread on multi-core
+    // hosts; here we only require a valid id.)
+    EXPECT_LT(loop_ids[c], opts.loops) << "connection " << c;
+    ASSERT_EQ(got[c].size(), clicks[c].size()) << "connection " << c;
+    const auto expected = oracle_verdicts(cfg, clicks[c]);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(got[c][i], expected[i])
+          << "connection " << c << " diverged at click " << i;
+    }
+  }
+}
+
+// Multi-loop malformed-frame isolation: a connection feeding garbage is
+// closed by ITS loop; connections already established (possibly on the
+// other loop) keep streaming verdicts undisturbed.
+TEST(ServerE2E, MultiLoopMalformedFrameClosesOnlyItsConnection) {
+  const DetectorConfig cfg = gbf_config();
+  IngestServer::Options opts;
+  opts.loops = 2;
+  LoopbackServer server(cfg, opts);
+
+  // Two well-behaved connections, established first.
+  BlockingClient good_a, good_b;
+  good_a.connect("127.0.0.1", server.port());
+  good_a.handshake();
+  good_b.connect("127.0.0.1", server.port());
+  good_b.handshake();
+
+  // A third connection turns hostile after a valid handshake.
+  {
+    BlockingClient bad;
+    bad.connect("127.0.0.1", server.port());
+    bad.handshake();
+    std::vector<std::uint8_t> garbage;
+    wire::append_ping(garbage, 7);
+    garbage[garbage.size() - 1] ^= 0xff;  // CRC breaks → protocol error
+    bad.send_raw(garbage);
+    try {
+      wire::FrameView frame;
+      while (bad.read_frame(frame)) {
+      }
+    } catch (const std::runtime_error&) {
+      // reset / mid-frame close is an acceptable rejection
+    }
+  }
+
+  // Both pre-existing connections still serve bit-exact verdicts.
+  const auto clicks_a = make_clicks(1, 4'000, 61);
+  const auto clicks_b = make_clicks(2, 4'000, 62);
+  std::vector<bool> got_a, got_b;
+  send_and_collect(good_a, clicks_a, 512, got_a);
+  send_and_collect(good_b, clicks_b, 512, got_b);
+  ASSERT_EQ(got_a.size(), clicks_a.size());
+  ASSERT_EQ(got_b.size(), clicks_b.size());
+  const auto exp_a = oracle_verdicts(cfg, clicks_a);
+  const auto exp_b = oracle_verdicts(cfg, clicks_b);
+  for (std::size_t i = 0; i < exp_a.size(); ++i) {
+    ASSERT_EQ(got_a[i], exp_a[i]) << "conn A diverged at click " << i;
+  }
+  for (std::size_t i = 0; i < exp_b.size(); ++i) {
+    ASSERT_EQ(got_b[i], exp_b[i]) << "conn B diverged at click " << i;
+  }
+  EXPECT_GE(server.server().stats().protocol_errors, 1u);
+}
+
+// Multi-loop graceful shutdown: two connections (possibly on different
+// loops) send everything without reading; the cross-loop quiesce +
+// per-loop drain must deliver every owed verdict on both connections.
+TEST(ServerE2E, MultiLoopGracefulDrainDeliversAllPendingVerdicts) {
+  const DetectorConfig cfg = gbf_config();
+  IngestServer::Options opts;
+  opts.loops = 2;
+  auto server = std::make_unique<LoopbackServer>(cfg, opts);
+  constexpr int kConns = 2;
+  constexpr std::size_t kClicksPerConn = 10'000;
+  constexpr std::size_t kBatch = 2048;
+
+  std::vector<std::vector<wire::ClickRecord>> clicks(kConns);
+  std::vector<std::unique_ptr<BlockingClient>> clients(kConns);
+  std::vector<std::size_t> verdict_count(kConns, 0);
+  auto count_verdict = [&](int c, const wire::FrameView& frame) {
+    if (frame.type != wire::FrameType::kVerdictBatch) return;
+    wire::VerdictBatchView view;
+    std::string err;
+    ASSERT_TRUE(wire::parse_verdict_batch(frame.payload, view, err)) << err;
+    verdict_count[c] += view.count;
+  };
+  for (int c = 0; c < kConns; ++c) {
+    clicks[c] = make_clicks(static_cast<std::uint32_t>(c + 1), kClicksPerConn,
+                            70 + c);
+    clients[c] = std::make_unique<BlockingClient>();
+    clients[c]->connect("127.0.0.1", server->port());
+    clients[c]->handshake();
+    std::uint64_t seq = 0;
+    for (std::size_t sent = 0; sent < clicks[c].size(); sent += kBatch) {
+      const std::size_t n = std::min(kBatch, clicks[c].size() - sent);
+      clients[c]->send_click_batch(
+          seq++,
+          std::span<const wire::ClickRecord>(clicks[c]).subspan(sent, n));
+    }
+    clients[c]->send_ping(0xabc);  // round-trip: this loop READ everything
+    wire::FrameView frame;
+    while (clients[c]->read_frame(frame)) {
+      if (frame.type == wire::FrameType::kPong) break;
+      count_verdict(c, frame);
+    }
+  }
+
+  const IngestServer::Stats final_stats = server->shutdown();
+  EXPECT_EQ(final_stats.clicks, kConns * kClicksPerConn);
+  for (int c = 0; c < kConns; ++c) {
+    // The remaining verdicts must all arrive before EOF — the cross-loop
+    // quiesce may not strand a single owed frame on either connection.
+    wire::FrameView frame;
+    while (clients[c]->read_frame(frame)) {
+      count_verdict(c, frame);
+    }
+    EXPECT_EQ(verdict_count[c], clicks[c].size())
+        << "connection " << c << ": graceful drain dropped verdicts";
+  }
 }
 
 }  // namespace

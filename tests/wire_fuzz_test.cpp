@@ -102,8 +102,25 @@ DecodeStatus check_decode(const std::vector<std::uint8_t>& buf) {
       VerdictBatchView verdicts;
       (void)parse_version(frame.payload, version, err);
       if (parse_click_batch(frame.payload, clicks, err)) {
+        // The zero-copy server decodes in place and hands offer_batch
+        // spans pointing straight at these records — so on EVERY accepted
+        // batch (including mutated ones that happened to stay valid) the
+        // record span must lie inside the buffer, and the columnar
+        // deinterleave must agree with the row-wise accessor exactly.
+        if (clicks.count > 0) {
+          EXPECT_GE(clicks.records, begin);
+          EXPECT_LE(clicks.records + clicks.count * kClickRecordBytes, end);
+        }
+        std::vector<std::uint32_t> ads(clicks.count);
+        std::vector<std::uint64_t> ids(clicks.count);
+        std::vector<std::uint64_t> times(clicks.count);
+        deinterleave_clicks(clicks.records, clicks.count, ads.data(),
+                            ids.data(), times.data());
         for (std::uint32_t i = 0; i < clicks.count; ++i) {
-          (void)clicks.record(i);
+          const ClickRecord rec = clicks.record(i);
+          EXPECT_EQ(ads[i], rec.ad_id);
+          EXPECT_EQ(ids[i], rec.click_id);
+          EXPECT_EQ(times[i], rec.t_us);
         }
       }
       if (parse_verdict_batch(frame.payload, verdicts, err)) {
@@ -258,6 +275,90 @@ TEST(WireFuzz, PipelinedFramesDecodeInSequence) {
   ASSERT_EQ(decode_frame(rest, frame, consumed, error), DecodeStatus::kFrame);
   EXPECT_EQ(frame.type, FrameType::kDrain);
   EXPECT_EQ(consumed, rest.size());
+}
+
+TEST(WireFuzz, SlicedCrcMatchesBytewiseReference) {
+  // The slicing-by-8 kernel must be bit-identical to the canonical
+  // byte-at-a-time IEEE CRC-32 at every length and alignment — lengths
+  // around the 8-byte fold boundary and odd offsets are the cases a
+  // sliced implementation gets wrong first.
+  stream::Rng rng(20260808);
+  std::vector<std::uint8_t> data(4096 + 16);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.below(256));
+  for (const std::size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u,
+                                63u, 64u, 65u, 255u, 1000u, 4096u}) {
+    for (const std::size_t off : {0u, 1u, 3u, 5u, 7u}) {
+      const std::span<const std::uint8_t> view(data.data() + off, len);
+      EXPECT_EQ(crc32(view), crc32_bytewise(view))
+          << "len " << len << " offset " << off;
+    }
+  }
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t len = rng.below(2048);
+    const std::size_t off = rng.below(8);
+    const std::span<const std::uint8_t> view(data.data() + off, len);
+    ASSERT_EQ(crc32(view), crc32_bytewise(view))
+        << "len " << len << " offset " << off;
+  }
+}
+
+TEST(WireFuzz, HelloAckCarriesLoopIdAndAcceptsLegacyPayload) {
+  // Current 8-byte HELLO_ACK: version + accepting loop id.
+  std::vector<std::uint8_t> buf;
+  append_hello_ack(buf, kProtocolVersion, /*loop_id=*/3);
+  FrameView frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode_frame(buf, frame, consumed, error), DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kHelloAck);
+  std::uint32_t version = 0, loop_id = 99;
+  ASSERT_TRUE(parse_hello_ack(frame.payload, version, loop_id, error));
+  EXPECT_EQ(version, kProtocolVersion);
+  EXPECT_EQ(loop_id, 3u);
+
+  // Legacy 4-byte payload (pre-multi-loop servers): parses as loop 0.
+  std::vector<std::uint8_t> body{
+      static_cast<std::uint8_t>(FrameType::kHelloAck)};
+  put_u32(body, kProtocolVersion);
+  std::vector<std::uint8_t> legacy;
+  put_u32(legacy, static_cast<std::uint32_t>(body.size()));
+  legacy.insert(legacy.end(), body.begin(), body.end());
+  put_u32(legacy, crc32(body));
+  ASSERT_EQ(decode_frame(legacy, frame, consumed, error),
+            DecodeStatus::kFrame);
+  loop_id = 99;
+  ASSERT_TRUE(parse_hello_ack(frame.payload, version, loop_id, error));
+  EXPECT_EQ(version, kProtocolVersion);
+  EXPECT_EQ(loop_id, 0u);
+
+  // Any other payload size is rejected cleanly.
+  for (const std::size_t n : {0u, 1u, 3u, 5u, 7u, 9u, 16u}) {
+    const std::vector<std::uint8_t> bad(n, 0xab);
+    error.clear();
+    EXPECT_FALSE(parse_hello_ack(bad, version, loop_id, error));
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(WireFuzz, ColumnarEncoderMatchesRowEncoder) {
+  // append_click_batch_cols (the server's scatter-free reply/replay path)
+  // must emit byte-identical frames to the row-wise encoder.
+  for (const std::uint32_t count : {0u, 1u, 7u, 100u}) {
+    std::vector<ClickRecord> rows(count);
+    std::vector<std::uint32_t> ads(count);
+    std::vector<std::uint64_t> ids(count), times(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      rows[i] = {i * 3 + 1, 0xdead'0000'0000'0000ull + i, 500ull + i};
+      ads[i] = rows[i].ad_id;
+      ids[i] = rows[i].click_id;
+      times[i] = rows[i].t_us;
+    }
+    std::vector<std::uint8_t> row_frame, col_frame;
+    append_click_batch(row_frame, /*seq=*/11, rows);
+    append_click_batch_cols(col_frame, /*seq=*/11, count, ads.data(),
+                            ids.data(), times.data());
+    EXPECT_EQ(row_frame, col_frame) << "count " << count;
+  }
 }
 
 TEST(WireFuzz, VerdictBitmapRoundTrip) {

@@ -17,7 +17,11 @@
 #      thread vs client threads), and durability_test (snapshot save/restore
 #      quiesces engine owner threads and drives full daemon restarts) — so
 #      every PR touching the parallel ingestion paths gets a race check;
-#      the engine-sensitive ones run under TSan in both engine defaults.
+#      the engine-sensitive ones run under TSan in both engine defaults
+#      (the e2e and durability binaries include the multi-loop fixtures,
+#      so the SO_REUSEPORT cross-loop paths are raced in both designs);
+#   5. CLI validation: ppcd must reject --loops=0 and --loops beyond the
+#      hardware threads (without --oversubscribe-loops) with clear errors.
 #
 # Usage: tools/check.sh [--tsan-only]
 set -euo pipefail
@@ -44,6 +48,25 @@ if [[ "$TSAN_ONLY" == 0 ]]; then
 
   echo "== tier-1 (engine): same build, PPC_ENGINE_DEFAULT=ON ctest =="
   (cd build && PPC_ENGINE_DEFAULT=ON ctest --output-on-failure -j "$JOBS")
+
+  echo "== cli gate: ppcd rejects bad --loops values =="
+  # `|| true` inside $(...): ppcd exiting nonzero is the EXPECTED outcome
+  # here and must not trip set -e / pipefail — the assertions below are on
+  # the exit status (checked via if) and the error text.
+  if ./build/tools/ppcd --loops=0 --listen=127.0.0.1:0 2>/dev/null; then
+    echo "FAIL: ppcd accepted --loops=0"; exit 1
+  fi
+  OUT=$(./build/tools/ppcd --loops=0 --listen=127.0.0.1:0 2>&1 || true)
+  echo "$OUT" | grep -q "loops=0 is invalid" \
+    || { echo "FAIL: --loops=0 error message missing"; exit 1; }
+  OVER=$(( $(nproc) + 1 ))
+  if ./build/tools/ppcd --loops="$OVER" --listen=127.0.0.1:0 2>/dev/null; then
+    echo "FAIL: ppcd accepted --loops=$OVER without --oversubscribe-loops"
+    exit 1
+  fi
+  OUT=$(./build/tools/ppcd --loops="$OVER" --listen=127.0.0.1:0 2>&1 || true)
+  echo "$OUT" | grep -q "exceeds the .* hardware thread" \
+    || { echo "FAIL: oversubscription error message missing"; exit 1; }
 
   echo "== tier-1 (scalar): -DPPC_DISABLE_SIMD=ON build + ctest =="
   cmake -B build-nosimd -S . -DPPC_DISABLE_SIMD=ON \

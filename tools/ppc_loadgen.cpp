@@ -52,6 +52,12 @@ namespace {
       "  --inflight=W         outstanding batches per connection (default 4)\n"
       "  --seed=S             stream seed (default 1)\n"
       "  --verify=on|off      oracle verification (default on)\n"
+      "  --sndbuf=BYTES       shrink the client sockets' SO_SNDBUF and\n"
+      "                       SO_RCVBUF symmetrically (backpressure tests)\n"
+      "  --loops=N            acceptance mode: assert the server spread our\n"
+      "                       connections across N SO_REUSEPORT loops and\n"
+      "                       report per-connection RTT skew (warns instead\n"
+      "                       of failing on 1-core hosts)\n"
       "  --window=SPEC --memory-mib=M --hashes=K --shards=S --owners=T\n"
       "  --engine=auto|on|off mirror of the ppcd detector flags (oracle)\n",
       argv0);
@@ -110,6 +116,7 @@ struct ConnResult {
   std::uint64_t duplicates = 0;
   std::uint64_t server_clicks = 0;      ///< from DRAIN_ACK
   std::uint64_t server_duplicates = 0;  ///< from DRAIN_ACK
+  std::uint32_t loop_id = 0;            ///< accepting loop, from HELLO_ACK
   std::vector<double> rtt_us;           ///< one sample per batch
   std::vector<char> verdicts;           ///< wire verdict bits, in order
   std::string error;                    ///< nonempty = connection failed
@@ -117,11 +124,19 @@ struct ConnResult {
 
 void run_connection(std::uint32_t index, const std::string& host,
                     std::uint16_t port, const std::vector<wire::ClickRecord>& clicks,
-                    std::size_t batch, std::size_t inflight, ConnResult& out) {
+                    std::size_t batch, std::size_t inflight, int sndbuf,
+                    ConnResult& out) {
   try {
     server::BlockingClient client;
+    if (sndbuf > 0) {
+      // Symmetric kernel budget: --sndbuf throttles both directions of
+      // the client socket, not just the outbound half.
+      client.set_sndbuf(sndbuf);
+      client.set_rcvbuf(sndbuf);
+    }
     client.connect(host, port);
     client.handshake();
+    out.loop_id = client.loop_id();
 
     const std::size_t total_batches = (clicks.size() + batch - 1) / batch;
     out.rtt_us.reserve(total_batches);
@@ -213,6 +228,8 @@ int main(int argc, char** argv) {
         1, flag_u64(flags, "inflight", 4));
     const std::uint64_t seed = flag_u64(flags, "seed", 1);
     const bool verify = flag(flags, "verify", "on") == "on";
+    const int sndbuf = static_cast<int>(flag_u64(flags, "sndbuf", 0));
+    const std::uint64_t expected_loops = flag_u64(flags, "loops", 0);
     if (connections == 0 || batch == 0 ||
         batch > wire::kMaxClicksPerBatch) {
       usage(argv[0]);
@@ -254,7 +271,7 @@ int main(int argc, char** argv) {
       threads.reserve(connections);
       for (std::uint32_t c = 0; c < connections; ++c) {
         threads.emplace_back(run_connection, c, host, port,
-                             std::cref(streams[c]), batch, inflight,
+                             std::cref(streams[c]), batch, inflight, sndbuf,
                              std::ref(results[c]));
       }
       for (auto& t : threads) t.join();
@@ -288,6 +305,65 @@ int main(int argc, char** argv) {
                 percentile(rtts, 0.50), percentile(rtts, 0.99), rtts.size());
 
     int exit_code = 0;
+
+    if (expected_loops > 0) {
+      // Acceptance mode: per-connection RTT skew plus the kernel's
+      // SO_REUSEPORT accept spread across the server's loops.
+      std::vector<std::uint64_t> per_loop(expected_loops, 0);
+      double p50_min = 0.0, p50_max = 0.0;
+      bool first = true;
+      for (std::uint32_t c = 0; c < connections; ++c) {
+        ConnResult& r = results[c];
+        std::sort(r.rtt_us.begin(), r.rtt_us.end());
+        const double p50 = percentile(r.rtt_us, 0.50);
+        std::printf("ppc_loadgen:   conn %u → loop %u: rtt p50=%.0f us "
+                    "p99=%.0f us\n",
+                    c, r.loop_id, p50, percentile(r.rtt_us, 0.99));
+        if (first || p50 < p50_min) p50_min = p50;
+        if (first || p50 > p50_max) p50_max = p50;
+        first = false;
+        if (r.loop_id < expected_loops) {
+          ++per_loop[r.loop_id];
+        } else {
+          std::fprintf(stderr,
+                       "ppc_loadgen: conn %u reports loop %u, beyond the "
+                       "expected %llu loops\n",
+                       c, r.loop_id,
+                       static_cast<unsigned long long>(expected_loops));
+          exit_code = 1;
+        }
+      }
+      std::printf("ppc_loadgen: rtt skew across connections: p50 max/min = "
+                  "%.2fx\n",
+                  p50_min > 0 ? p50_max / p50_min : 0.0);
+      std::uint64_t empty_loops = 0;
+      for (std::uint64_t l = 0; l < expected_loops; ++l) {
+        std::printf("ppc_loadgen:   loop %llu accepted %llu connection(s)\n",
+                    static_cast<unsigned long long>(l),
+                    static_cast<unsigned long long>(per_loop[l]));
+        if (per_loop[l] == 0) ++empty_loops;
+      }
+      if (connections >= expected_loops && empty_loops > 0) {
+        // SO_REUSEPORT hashes the 4-tuple, so a small connection count can
+        // legitimately collide onto fewer loops; on 1-core hosts the
+        // kernel may also favor the loop that is runnable. Warn there,
+        // fail only when real parallelism was available.
+        if (std::thread::hardware_concurrency() <= 1) {
+          std::printf("ppc_loadgen: WARNING: %llu of %llu loops accepted no "
+                      "connection (1-core host: accept balancing is "
+                      "best-effort)\n",
+                      static_cast<unsigned long long>(empty_loops),
+                      static_cast<unsigned long long>(expected_loops));
+        } else {
+          std::fprintf(stderr,
+                       "ppc_loadgen: accept balancing FAILED: %llu of %llu "
+                       "loops accepted no connection\n",
+                       static_cast<unsigned long long>(empty_loops),
+                       static_cast<unsigned long long>(expected_loops));
+          exit_code = 1;
+        }
+      }
+    }
     for (std::uint32_t c = 0; c < connections; ++c) {
       const ConnResult& r = results[c];
       if (r.server_clicks != r.clicks || r.server_duplicates != r.duplicates) {

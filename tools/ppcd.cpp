@@ -2,18 +2,23 @@
 //
 //   ppcd --listen=127.0.0.1:4817 --window=jumping:1048576:8 [--memory-mib=16]
 //        [--hashes=7] [--sink=pool|sharded] [--shards=8] [--owners=2]
-//        [--engine=auto|on|off] [--flush=16384] [--sndbuf=BYTES]
+//        [--engine=auto|on|off] [--flush=16384] [--loops=N] [--sndbuf=BYTES]
 //        [--snapshot=PATH] [--restore=PATH]
 //
-// Serves the wire protocol of src/server/wire.hpp on one epoll thread.
+// Serves the wire protocol of src/server/wire.hpp on --loops epoll threads,
+// each with its own SO_REUSEPORT listener (kernel-balanced accepts).
 // --sink=pool (default) routes clicks by ad id through an
 // adnet::DetectorPool, creating one detector per ad on first sight;
 // --sink=sharded feeds every click into a single core::ShardedDetector
 // (use --shards/--owners/--engine=on for the lock-free owner engine, which
-// makes the epoll thread a pure SPSC producer). SIGINT/SIGTERM triggers a
-// graceful drain: the pending coalesced batch is flushed through the
-// detector, every owed verdict frame is pushed out with blocking writes,
-// and an op-count summary is printed before exit.
+// makes each epoll thread an independent lane-leasing producer). With a
+// sink that is not safe for concurrent offers (plain GBF/TBF, an
+// unsharded pool), multi-loop ingest serializes offers behind one mutex —
+// correct, but the filter stops scaling; pair --loops>1 with --shards>1.
+// SIGINT/SIGTERM triggers a graceful drain: every loop is quiesced, each
+// loop's pending batch is flushed through the detector, every owed verdict
+// frame is pushed out with blocking writes, and an op-count summary is
+// printed before exit.
 //
 // Durability: --snapshot=PATH writes the sink's complete window state at
 // drain time (atomically: PATH.tmp + fsync + rename), and --restore=PATH
@@ -25,10 +30,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "adnet/detector_pool.hpp"
 #include "server/ingest_server.hpp"
@@ -53,6 +60,10 @@ namespace {
       "  --owners=T           engine owner threads / fan-out lanes\n"
       "  --engine=auto|on|off lock-free owner engine for sharded detectors\n"
       "  --flush=N            coalesced-batch flush threshold (default 16384)\n"
+      "  --loops=N            epoll event loops, each with an SO_REUSEPORT\n"
+      "                       listener (default 1; must be 1..hw threads\n"
+      "                       unless --oversubscribe-loops is given)\n"
+      "  --oversubscribe-loops allow --loops beyond the hardware threads\n"
       "  --sndbuf=BYTES       shrink per-connection SO_SNDBUF (tests)\n"
       "  --memory-cap-mib=M   DetectorPool total budget (default 1024)\n"
       "  --snapshot=PATH      write window state here on graceful drain\n"
@@ -131,6 +142,23 @@ int main(int argc, char** argv) {
     opts.snapshot_path = flag(flags, "snapshot", "");
     opts.loop.sndbuf_bytes =
         static_cast<int>(flag_u64(flags, "sndbuf", 0));
+    opts.loops = flag_u64(flags, "loops", 1);
+    if (opts.loops == 0) {
+      std::fprintf(stderr,
+                   "ppcd: --loops=0 is invalid: the server needs at least "
+                   "one event loop (use --loops=1 for the single-threaded "
+                   "server)\n");
+      return 2;
+    }
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (opts.loops > hw && !flags.contains("oversubscribe-loops")) {
+      std::fprintf(stderr,
+                   "ppcd: --loops=%zu exceeds the %zu hardware thread%s — "
+                   "extra loops only add context switches; pass "
+                   "--oversubscribe-loops to force it (tests)\n",
+                   opts.loops, hw, hw == 1 ? "" : "s");
+      return 2;
+    }
 
     // Sink construction. Objects outlive the server; declared first.
     std::unique_ptr<core::DuplicateDetector> detector;
@@ -147,7 +175,11 @@ int main(int argc, char** argv) {
       pool = std::make_unique<adnet::DetectorPool>(
           [cfg](std::uint32_t) { return server::build_detector(cfg); },
           pool_opts);
-      sink = std::make_unique<server::PoolSink>(*pool);
+      // shards > 1 → the factory builds ShardedDetectors, which are
+      // individually thread-safe, so multi-loop offers need no serializing.
+      sink = std::make_unique<server::PoolSink>(*pool, nullptr,
+                                                /*concurrent_detectors=*/
+                                                cfg.shards > 1);
     } else {
       usage(argv[0]);
     }
@@ -168,10 +200,10 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("ppcd: listening on %s:%u — sink=%s window=%s "
-                "shards=%zu owners=%zu engine=%s flush=%zu\n",
+                "shards=%zu owners=%zu engine=%s flush=%zu loops=%zu\n",
                 host.c_str(), bound, sink->describe().c_str(),
                 cfg.window.describe().c_str(), cfg.shards, cfg.owners,
-                engine.c_str(), opts.flush_clicks);
+                engine.c_str(), opts.flush_clicks, opts.loops);
     std::fflush(stdout);
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -203,6 +235,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ls.bytes_in),
         static_cast<unsigned long long>(ls.bytes_out), secs,
         secs > 0 ? static_cast<double>(st.clicks) / secs / 1e6 : 0.0);
+    if (srv.loops() > 1) {
+      for (std::size_t i = 0; i < srv.loops(); ++i) {
+        const auto per = srv.loop_stats(i);
+        std::printf("ppcd:   loop %zu: accepted=%llu bytes_in=%llu "
+                    "bytes_out=%llu\n",
+                    i, static_cast<unsigned long long>(per.accepted),
+                    static_cast<unsigned long long>(per.bytes_in),
+                    static_cast<unsigned long long>(per.bytes_out));
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ppcd: %s\n", e.what());
