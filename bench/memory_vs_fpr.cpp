@@ -7,18 +7,69 @@
 // Bloom filter, the Metwally jumping scheme pays counter widths AND needs
 // its main filter sized for all N elements, and the sliding-CBF scheme
 // pays 64 bits of raw identifier per element on top of its filter.
+// The second half is empirical: GBF, TBF, and APBF built by the factory at
+// EQUAL total memory, their FP rates measured on the paper's distinct-id
+// protocol and on a duplicated stream against the validity oracle (which
+// also proves the zero-FN guarantee run by run).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
 
+#include "analysis/experiment.hpp"
 #include "analysis/sizing.hpp"
 #include "analysis/theory.hpp"
+#include "analysis/validity_oracle.hpp"
 #include "bench_util.hpp"
+#include "core/detector_factory.hpp"
+#include "stream/rng.hpp"
 
 using namespace ppc;
+
+namespace {
+
+/// Identifier stream with tunable duplication (the tests' make_id_stream,
+/// gtest-free): each arrival repeats a recent id with probability
+/// `dup_prob`, lookback uniform in [1, max_gap].
+std::vector<std::uint64_t> dup_stream(std::uint64_t count, double dup_prob,
+                                      std::uint64_t max_gap,
+                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(count);
+  stream::Rng rng(seed);
+  std::uint64_t fresh = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!ids.empty() && rng.chance(dup_prob)) {
+      const std::uint64_t gap = 1 + rng.below(std::min(max_gap, i));
+      ids.push_back(ids[i - gap]);
+    } else {
+      ids.push_back((seed << 40) + fresh++);
+    }
+  }
+  return ids;
+}
+
+struct HeadToHeadArm {
+  const char* label;
+  core::DetectorBackend backend;
+  core::WindowSpec window;
+  std::unique_ptr<analysis::ValidityOracle> (*oracle)(std::uint64_t n);
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = benchutil::Args::parse(argc, argv);
   const std::uint64_t n = args.scaled(1u << 20);
   const std::uint32_t q = 8;
+
+  benchutil::JsonSeriesWriter json("memory_vs_fpr", args.json);
+  json.set_meta("hw_threads",
+                static_cast<double>(std::thread::hardware_concurrency()));
+  json.set_meta("cpu_model", benchutil::cpu_model_string());
+  json.set_meta("window_n", static_cast<double>(n));
 
   std::printf(
       "Memory (MiB) to guard a window of N=%llu clicks, by FP target\n"
@@ -87,5 +138,90 @@ int main(int argc, char** argv) {
       "schemes are compact; with real click identifications (IP+cookie+ad\n"
       "tuples, URLs) their per-element retention dominates and the TBF's\n"
       "fixed O(m log N) footprint wins — the paper's §2.4 argument.\n");
+
+  // ------------------------- empirical head-to-head at equal memory ------
+  // Each backend guards the same N-click window with the same total bits,
+  // built through make_detector (the factory's memory split included). Two
+  // measurements per point: the paper's §5 distinct-id FP protocol, and a
+  // 30%-duplicate stream against the validity oracle — whose false-negative
+  // count must be ZERO for every backend, every budget (theorem check).
+  std::printf(
+      "\nMeasured FP rate at EQUAL total memory, window N=%llu\n"
+      "(GBF jumping Q=%u; TBF & APBF sliding; APBF k inherits --hashes,\n"
+      "l=8; fpr_distinct: %llu distinct ids, FP over trailing %llu;\n"
+      "fpr_oracle/fn: 30%%-duplicate stream vs the validity oracle)\n\n",
+      static_cast<unsigned long long>(n), q,
+      static_cast<unsigned long long>(6 * n),
+      static_cast<unsigned long long>(3 * n));
+  benchutil::print_header({"bits/elem", "backend", "mem_bits", "fpr_distinct",
+                           "fpr_oracle", "false_neg"});
+
+  const HeadToHeadArm arms[] = {
+      {"GBF", core::DetectorBackend::kGbf, core::WindowSpec::jumping_count(n, q),
+       [](std::uint64_t win) -> std::unique_ptr<analysis::ValidityOracle> {
+         return std::make_unique<analysis::JumpingOracle>(win, 8);
+       }},
+      {"TBF", core::DetectorBackend::kTbf, core::WindowSpec::sliding_count(n),
+       [](std::uint64_t win) -> std::unique_ptr<analysis::ValidityOracle> {
+         return std::make_unique<analysis::SlidingOracle>(win);
+       }},
+      {"APBF", core::DetectorBackend::kApbf, core::WindowSpec::sliding_count(n),
+       [](std::uint64_t win) -> std::unique_ptr<analysis::ValidityOracle> {
+         return std::make_unique<analysis::SlidingOracle>(win);
+       }},
+  };
+
+  bool fn_violation = false;
+  for (const std::uint64_t bpe : {8ull, 12ull, 16ull, 24ull}) {
+    for (const auto& arm : arms) {
+      core::DetectorBudget budget;
+      budget.backend = arm.backend;
+      budget.total_memory_bits = bpe * n;
+
+      auto fpr_detector = core::make_detector(arm.window, budget);
+      analysis::DistinctRunConfig cfg{6 * n, 3 * n, bpe};
+      const double fpr_distinct =
+          analysis::measure_fpr_distinct(*fpr_detector, cfg);
+
+      auto oracle_detector = core::make_detector(arm.window, budget);
+      auto oracle = arm.oracle(n);
+      const auto ids = dup_stream(6 * n, 0.3, n, 17 + bpe);
+      const auto counts =
+          analysis::run_self_consistency(*oracle_detector, *oracle, ids);
+      if (counts.false_negative != 0) fn_violation = true;
+
+      std::printf("%13llu %13s %13llu %13.4g %13.4g %13llu \n",
+                  static_cast<unsigned long long>(bpe),
+                  oracle_detector->name().c_str(),
+                  static_cast<unsigned long long>(
+                      oracle_detector->memory_bits()),
+                  fpr_distinct, counts.false_positive_rate(),
+                  static_cast<unsigned long long>(counts.false_negative));
+      json.add(arm.label,
+               {{"bits_per_elem", static_cast<double>(bpe)},
+                {"mem_bits",
+                 static_cast<double>(oracle_detector->memory_bits())},
+                {"fpr_distinct", fpr_distinct},
+                {"fpr_oracle", counts.false_positive_rate()},
+                {"false_negatives",
+                 static_cast<double>(counts.false_negative)}});
+    }
+  }
+  if (fn_violation) {
+    std::fprintf(stderr,
+                 "FATAL: a backend produced false negatives inside its "
+                 "covered window — zero-FN theorem violated\n");
+    return 1;
+  }
+  std::printf(
+      "\nreading: the GBF posts the lowest FP rate per bit, but it answers\n"
+      "a COARSER question (jumping window, Q sub-windows); the TBF's exact\n"
+      "sliding expiry costs ~log2(N) bits per entry, so at these budgets\n"
+      "its table holds far fewer than N entries and saturates. The APBF\n"
+      "sits between: true sliding-window semantics (within one generation,\n"
+      "~1/l of the window) at 1-bit slices, giving FP rates one to two\n"
+      "orders below the TBF at equal memory — the trade the APBF paper\n"
+      "promises. false_neg is 0 on every row: all three keep the zero-FN\n"
+      "guarantee regardless of budget.\n");
   return 0;
 }

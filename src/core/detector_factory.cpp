@@ -1,9 +1,8 @@
 #include "core/detector_factory.hpp"
 
-#include <algorithm>
-#include <bit>
 #include <stdexcept>
 
+#include "core/age_partitioned_bloom_filter.hpp"
 #include "core/group_bloom_filter.hpp"
 #include "core/timing_bloom_filter.hpp"
 
@@ -29,22 +28,12 @@ std::unique_ptr<DuplicateDetector> make_gbf(const WindowSpec& window,
 
 std::unique_ptr<DuplicateDetector> make_tbf(const WindowSpec& window,
                                             const DetectorBudget& budget) {
-  // Entry width depends on the tick count, which depends on the window;
-  // mirror TimingBloomFilter's own computation to size the table.
-  std::uint64_t ticks = 0;
-  if (window.basis == WindowBasis::kCount) {
-    ticks = window.kind == WindowKind::kSliding ? window.length
-                                                : window.subwindows;
-  } else {
-    ticks = window.length / window.time_unit_us;
-  }
-  const std::uint64_t c =
-      budget.tbf_c != 0 ? budget.tbf_c
-                        : std::max<std::uint64_t>(1, ticks - 1);
-  const std::uint64_t wrap = ticks + c;
-  // Timestamps 0..wrap-1 plus the EMPTY sentinel need wrap+1 codes.
-  const std::size_t width = static_cast<std::size_t>(std::bit_width(wrap));
-  const std::uint64_t entries = budget.total_memory_bits / width;
+  // Entry width comes from the filter's OWN geometry resolution — the one
+  // place wrap/width is computed — so table sizing can never diverge from
+  // the wrap space the filter actually allocates.
+  const TimingBloomFilter::Geometry geo =
+      TimingBloomFilter::resolve_geometry(window, budget.tbf_c);
+  const std::uint64_t entries = budget.total_memory_bits / geo.entry_bits;
   if (entries == 0) {
     throw std::invalid_argument(
         "make_detector: memory budget below one timestamp entry");
@@ -58,11 +47,47 @@ std::unique_ptr<DuplicateDetector> make_tbf(const WindowSpec& window,
   return std::make_unique<TimingBloomFilter>(window, opts);
 }
 
+std::unique_ptr<DuplicateDetector> make_apbf(const WindowSpec& window,
+                                             const DetectorBudget& budget) {
+  AgePartitionedBloomFilter::Options opts;
+  opts.consecutive = budget.apbf_consecutive != 0 ? budget.apbf_consecutive
+                                                  : budget.hash_count;
+  opts.generations = budget.apbf_generations;
+  // Memory splits evenly across the k + l + 1 physical slices (one is the
+  // incremental-retirement spare), mirroring GBF's M / (Q+1) discipline.
+  const std::uint64_t slices = opts.consecutive + opts.generations + 1;
+  const std::uint64_t m = budget.total_memory_bits / slices;
+  if (m == 0) {
+    throw std::invalid_argument(
+        "make_detector: memory budget below one bit per APBF slice");
+  }
+  opts.bits_per_slice = m;
+  opts.strategy = budget.strategy;
+  opts.seed = budget.seed;
+  return std::make_unique<AgePartitionedBloomFilter>(window, opts);
+}
+
 }  // namespace
 
 std::unique_ptr<DuplicateDetector> make_detector(const WindowSpec& window,
                                                  const DetectorBudget& budget) {
   window.validate();
+  switch (budget.backend) {
+    case DetectorBackend::kAuto:
+      break;  // window-model dispatch below
+    case DetectorBackend::kGbf:
+      if (window.kind == WindowKind::kLandmark) {
+        WindowSpec as_jumping = window;
+        as_jumping.kind = WindowKind::kJumping;
+        as_jumping.subwindows = 1;
+        return make_gbf(as_jumping, budget, 1);
+      }
+      return make_gbf(window, budget, window.subwindows);
+    case DetectorBackend::kTbf:
+      return make_tbf(window, budget);
+    case DetectorBackend::kApbf:
+      return make_apbf(window, budget);
+  }
   switch (window.kind) {
     case WindowKind::kLandmark: {
       WindowSpec as_jumping = window;

@@ -17,17 +17,38 @@
 
 namespace ppc::core {
 
+/// Which duplicate-detection algorithm make_detector builds.
+enum class DetectorBackend : std::uint8_t {
+  /// The 2008 paper's recommendation per window model (the table above).
+  kAuto,
+  /// Force GroupBloomFilter (jumping/landmark windows only).
+  kGbf,
+  /// Force TimingBloomFilter (sliding windows, count-based jumping).
+  kTbf,
+  /// Force AgePartitionedBloomFilter (sliding windows, count or time basis;
+  /// the post-2008 contender — see bench/memory_vs_fpr for the trade-off).
+  kApbf,
+};
+
 struct DetectorBudget {
   /// Total filter memory M in bits, split per the chosen algorithm.
   std::uint64_t total_memory_bits = std::uint64_t{1} << 24;
-  /// Number of hash functions k.
+  /// Number of hash functions k (APBF: consecutive slices per insert,
+  /// unless apbf_consecutive overrides it).
   std::size_t hash_count = 7;
+  /// Backend selection; kAuto keeps the paper's window-model dispatch.
+  DetectorBackend backend = DetectorBackend::kAuto;
   /// Jumping windows switch from GBF to TBF above this Q. Default keeps
   /// every GBF slot inside one 64-bit lane (Q+1 ≤ 64), mirroring the
   /// paper's "CPU reads one D-bit word" cost model.
   std::uint32_t max_gbf_subwindows = 63;
   /// TBF wraparound slack C (0 = paper default, window_ticks - 1).
   std::uint64_t tbf_c = 0;
+  /// APBF k (consecutive slices); 0 inherits hash_count.
+  std::size_t apbf_consecutive = 0;
+  /// APBF ℓ (retired generations covered). Window-boundary slack is ≈ 1/ℓ
+  /// of the window; each extra generation costs one more m-bit slice.
+  std::size_t apbf_generations = 8;
   hashing::IndexStrategy strategy = hashing::IndexStrategy::kDoubleHashing;
   std::uint64_t seed = 0;
 };

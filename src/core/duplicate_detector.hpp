@@ -97,11 +97,20 @@ class DuplicateDetector {
   /// Restores the freshly-constructed state.
   virtual void reset() = 0;
 
+  /// Whether this detector implements a snapshot format (save()/restore()
+  /// below). Callers that will need checkpoints later — ppcd with
+  /// --snapshot, any drain-time saver — should consult this UP FRONT and
+  /// fail with a clear error at configuration time, not mid-drain after
+  /// hours of ingest. Baselines without a format return false.
+  virtual bool supports_snapshots() const noexcept { return false; }
+
   /// Serializes the complete detector state (parameters + filter payload)
   /// so a billing replica can checkpoint and resume mid-stream. Detectors
-  /// without a snapshot format throw std::runtime_error.
+  /// without a snapshot format (supports_snapshots() == false) throw
+  /// std::runtime_error naming the backend.
   virtual void save(std::ostream&) const {
-    throw std::runtime_error(name() + ": snapshot save not supported");
+    throw std::runtime_error("backend " + name() +
+                             " does not support snapshots (save)");
   }
 
   /// Restores state saved by save() INTO THIS INSTANCE. The snapshot's
@@ -110,7 +119,8 @@ class DuplicateDetector {
   /// Corrupt input also throws; after a mid-read failure the detector is
   /// in an unspecified (but memory-safe) state — reset() or discard it.
   virtual void restore(std::istream&) {
-    throw std::runtime_error(name() + ": snapshot restore not supported");
+    throw std::runtime_error("backend " + name() +
+                             " does not support snapshots (restore)");
   }
 
   /// Routes memory-operation accounting into `ops` (nullptr disables).

@@ -62,6 +62,7 @@ class GroupBloomFilter final : public DuplicateDetector {
   bool zero_false_negatives() const override { return true; }
   std::string name() const override { return "GBF"; }
   void reset() override;
+  bool supports_snapshots() const noexcept override { return true; }
 
   /// Physical footprint including word-lane padding (≥ memory_bits()).
   std::size_t storage_bits() const { return matrix_.storage_bits(); }

@@ -115,6 +115,10 @@ class ShardedDetector final : public DuplicateDetector {
            shards_.front().detector->name() + "]";
   }
   void reset() override;
+  /// A sharded snapshot is only as good as its inner detectors' formats.
+  bool supports_snapshots() const noexcept override {
+    return shards_.front().detector->supports_snapshots();
+  }
 
   /// Serializes every shard's detector into one versioned, CRC-checked
   /// section (core/snapshot_io.hpp `kShardedMagic`). Engine mode quiesces

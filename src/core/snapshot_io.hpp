@@ -98,6 +98,7 @@ inline constexpr std::uint64_t kShardedMagic = 0x50504353'48443031ULL;  // "PPCS
 inline constexpr std::uint64_t kPoolMagic = 0x50504350'4F4F4C31ULL;     // "PPCPOOL1"
 inline constexpr std::uint64_t kServerSnapshotMagic =
     0x50504353'52563031ULL;  // "PPCSRV01"
+inline constexpr std::uint64_t kApbfMagic = 0x50504341'50424631ULL;  // "PPCAPBF1"
 
 inline constexpr std::uint64_t kSnapshotFormatVersion = 1;
 

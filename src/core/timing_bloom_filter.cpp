@@ -24,6 +24,57 @@ std::size_t bits_for(std::uint64_t distinct_values) {
 
 }  // namespace
 
+TimingBloomFilter::Geometry TimingBloomFilter::resolve_geometry(
+    const WindowSpec& window, std::uint64_t c) {
+  window.validate();
+  if (window.kind == WindowKind::kLandmark) {
+    throw std::invalid_argument(
+        "TimingBloomFilter: use a plain Bloom filter for landmark windows");
+  }
+  Geometry g{};
+  if (window.basis == WindowBasis::kCount) {
+    if (window.kind == WindowKind::kSliding) {
+      g.window_ticks = window.length;      // one tick per arrival
+      g.granularity = 1;
+    } else {                               // jumping: one tick per sub-window
+      g.window_ticks = window.subwindows;
+      g.granularity = window.subwindow_length();
+    }
+  } else {
+    if (window.kind != WindowKind::kSliding) {
+      throw std::invalid_argument(
+          "TimingBloomFilter: time basis supports sliding windows "
+          "(use GroupBloomFilter for time-based jumping windows)");
+    }
+    // validate() guarantees length is a positive multiple of time_unit_us,
+    // so this division is exact — no truncated tick count can undersize the
+    // wrap space and alias timestamps.
+    g.window_ticks = window.length / window.time_unit_us;  // R time units
+    g.granularity = 1;
+  }
+  if (g.window_ticks < 1) {
+    throw std::invalid_argument(
+        "TimingBloomFilter: window shorter than one tick");
+  }
+
+  g.c = c != 0 ? c : std::max<std::uint64_t>(1, g.window_ticks - 1);
+  g.wrap = g.window_ticks + g.c;
+  if (g.wrap < g.window_ticks) {
+    throw std::invalid_argument("TimingBloomFilter: window too large");
+  }
+
+  // Timestamps take values 0..wrap-1 and all-ones is reserved for EMPTY,
+  // so the entry must represent wrap+1 distinct values.
+  g.entry_bits = bits_for(g.wrap + 1);
+  const std::uint64_t empty =
+      g.entry_bits == 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << g.entry_bits) - 1;
+  if (g.wrap > empty) {  // max timestamp wrap-1 must stay below empty
+    throw std::invalid_argument("TimingBloomFilter: window too large");
+  }
+  return g;
+}
+
 TimingBloomFilter::TimingBloomFilter(WindowSpec window, Options opts)
     : window_(window),
       window_ticks_(0),
@@ -33,47 +84,17 @@ TimingBloomFilter::TimingBloomFilter(WindowSpec window, Options opts)
       empty_(0),
       family_(opts.hash_count, opts.entries, opts.strategy, opts.seed),
       table_() {
-  window_.validate();
   if (opts.entries == 0) {
     throw std::invalid_argument("TimingBloomFilter: entries must be positive");
   }
-  if (window_.kind == WindowKind::kLandmark) {
-    throw std::invalid_argument(
-        "TimingBloomFilter: use a plain Bloom filter for landmark windows");
-  }
-
-  if (window_.basis == WindowBasis::kCount) {
-    if (window_.kind == WindowKind::kSliding) {
-      window_ticks_ = window_.length;      // one tick per arrival
-      granularity_ = 1;
-    } else {                               // jumping: one tick per sub-window
-      window_ticks_ = window_.subwindows;
-      granularity_ = window_.subwindow_length();
-    }
-  } else {
-    if (window_.kind != WindowKind::kSliding) {
-      throw std::invalid_argument(
-          "TimingBloomFilter: time basis supports sliding windows "
-          "(use GroupBloomFilter for time-based jumping windows)");
-    }
-    window_ticks_ = window_.length / window_.time_unit_us;  // R time units
-    granularity_ = 1;
-  }
-  if (window_ticks_ < 1) {
-    throw std::invalid_argument("TimingBloomFilter: window shorter than one tick");
-  }
-
-  if (c_ == 0) c_ = std::max<std::uint64_t>(1, window_ticks_ - 1);
-  wrap_ = window_ticks_ + c_;
-
-  // Timestamps take values 0..wrap_-1 and all-ones is reserved for EMPTY,
-  // so the entry must represent wrap_+1 distinct values.
-  const std::size_t width = bits_for(wrap_ + 1);
-  empty_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
-  if (wrap_ > empty_) {  // max timestamp wrap_-1 must stay below empty_
-    throw std::invalid_argument("TimingBloomFilter: window too large");
-  }
-  table_ = bits::PackedIntVector(opts.entries, width, empty_);
+  const Geometry g = resolve_geometry(window_, opts.c);
+  window_ticks_ = g.window_ticks;
+  granularity_ = g.granularity;
+  c_ = g.c;
+  wrap_ = g.wrap;
+  empty_ = g.entry_bits == 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << g.entry_bits) - 1;
+  table_ = bits::PackedIntVector(opts.entries, g.entry_bits, empty_);
 
   // Cleaning budget: a full pass over all m entries every C ticks, i.e.
   // every C·G arrivals (count basis) or C time units (time basis).

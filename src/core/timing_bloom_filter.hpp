@@ -52,6 +52,26 @@ class TimingBloomFilter final : public DuplicateDetector {
     std::uint64_t seed = 0;
   };
 
+  /// The filter's tick/wrap geometry, fully resolved from a window spec.
+  /// This is the SINGLE source of truth shared by the constructor and
+  /// make_detector: the factory must size the table from the same entry
+  /// width the filter will actually allocate, or budget math silently
+  /// diverges from the wrap space (the bug this struct fixed).
+  struct Geometry {
+    std::uint64_t window_ticks;  ///< N, Q, or R depending on the window
+    std::uint64_t granularity;   ///< arrivals per tick (count basis), else 1
+    std::uint64_t c;             ///< wraparound slack, 0-sentinel resolved
+    std::uint64_t wrap;          ///< W = window_ticks + c
+    std::size_t entry_bits;      ///< ⌈log₂(W+1)⌉ (timestamps + EMPTY)
+  };
+
+  /// Resolves the tick model for `window` with wraparound slack `c`
+  /// (0 selects the paper default C = window_ticks - 1, clamped to ≥ 1).
+  /// @throws std::invalid_argument for windows TBF does not support
+  ///         (landmark, time-based jumping, sub-tick windows) or whose
+  ///         wrap space exceeds the 64-bit entry encoding.
+  static Geometry resolve_geometry(const WindowSpec& window, std::uint64_t c);
+
   /// @param window sliding (count or time basis) or jumping (count basis).
   /// @throws std::invalid_argument on inconsistent window/options.
   TimingBloomFilter(WindowSpec window, Options opts);
@@ -68,6 +88,7 @@ class TimingBloomFilter final : public DuplicateDetector {
   bool zero_false_negatives() const override { return true; }
   std::string name() const override { return "TBF"; }
   void reset() override;
+  bool supports_snapshots() const noexcept override { return true; }
 
   std::uint64_t entries() const { return table_.size(); }
   std::size_t hash_count() const { return family_.k(); }

@@ -323,6 +323,14 @@ IngestServer::IngestServer(ClickSink& sink, Options opts)
   if (opts_.loops == 0) {
     throw std::invalid_argument("IngestServer: loops must be >= 1");
   }
+  if (!opts_.snapshot_path.empty() && !sink_.supports_snapshots()) {
+    // Fail at configuration time, not at drain time: a snapshot-less sink
+    // would otherwise serve for hours and then throw exactly when the
+    // operator asked for durability.
+    throw std::invalid_argument(
+        "IngestServer: snapshot_path is set but backend " + sink_.describe() +
+        " does not support snapshots");
+  }
   serialize_offers_ = opts_.loops > 1 && !sink_.concurrent();
   workers_.reserve(opts_.loops);
   for (std::size_t i = 0; i < opts_.loops; ++i) {

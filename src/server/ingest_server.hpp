@@ -71,16 +71,25 @@ class ClickSink {
   /// paper detectors.
   virtual bool concurrent() const { return false; }
 
+  /// Whether save_state()/restore_state() are implemented all the way down
+  /// to the detectors. IngestServer consults this at CONSTRUCTION time when
+  /// a snapshot path is configured, so an operator pairing --snapshot with
+  /// a snapshot-less backend hears about it before serving a single click —
+  /// not from a drain-time throw after hours of ingest.
+  virtual bool supports_snapshots() const noexcept { return false; }
+
   /// Serializes the sink's detector state (see save_sink_snapshot below for
   /// the file envelope + atomic-write protocol). Call only while no clicks
   /// are being offered — after run() returned and the pending batch flushed.
   virtual void save_state(std::ostream&) const {
-    throw std::runtime_error(describe() + ": snapshot save not supported");
+    throw std::runtime_error("backend " + describe() +
+                             " does not support snapshots (save)");
   }
   /// Restores state saved by save_state() into this sink's detectors; the
   /// sink configuration must match the saving sink's (mismatches throw).
   virtual void restore_state(std::istream&) {
-    throw std::runtime_error(describe() + ": snapshot restore not supported");
+    throw std::runtime_error("backend " + describe() +
+                             " does not support snapshots (restore)");
   }
 };
 
@@ -99,6 +108,9 @@ class DetectorSink final : public ClickSink {
   }
   std::string describe() const override { return detector_.name(); }
   bool concurrent() const override { return detector_.concurrent_offers(); }
+  bool supports_snapshots() const noexcept override {
+    return detector_.supports_snapshots();
+  }
   void save_state(std::ostream& out) const override { detector_.save(out); }
   void restore_state(std::istream& in) override { detector_.restore(in); }
 
@@ -134,6 +146,12 @@ class PoolSink final : public ClickSink {
     // same worker queue mid-batch; keep that combination serialized.
     return concurrent_detectors_ && fanout_ == nullptr;
   }
+  /// The pool's sectioned format always exists; whether each per-ad
+  /// detector can serialize depends on the pool's factory. Every factory
+  /// the serving stack wires up (server_config build_detector backends)
+  /// is snapshot-capable, so advertise support here; a factory that
+  /// builds a snapshot-less baseline still fails loudly inside save().
+  bool supports_snapshots() const noexcept override { return true; }
   void save_state(std::ostream& out) const override { pool_.save(out); }
   void restore_state(std::istream& in) override { pool_.restore(in); }
 

@@ -30,11 +30,25 @@ struct DetectorConfig {
   core::WindowSpec window = core::WindowSpec::jumping_count(1 << 20, 8);
   std::uint64_t memory_bits = std::uint64_t{1} << 24;
   std::size_t hashes = 7;
+  /// Algorithm selection (kAuto = the paper's per-window dispatch). Part
+  /// of the verdict-determining config: server and loadgen oracle must
+  /// agree on it bit-for-bit like every other field here.
+  core::DetectorBackend backend = core::DetectorBackend::kAuto;
   std::size_t shards = 1;
   std::size_t owners = 1;  ///< engine owner threads / mutex fan-out lanes
   core::ShardedDetector::EngineMode engine =
       core::ShardedDetector::EngineMode::kAuto;
 };
+
+/// Parses the --backend flag grammar shared by ppcd and ppc_loadgen.
+inline core::DetectorBackend parse_backend_spec(const std::string& text) {
+  if (text == "auto") return core::DetectorBackend::kAuto;
+  if (text == "gbf") return core::DetectorBackend::kGbf;
+  if (text == "tbf") return core::DetectorBackend::kTbf;
+  if (text == "apbf") return core::DetectorBackend::kApbf;
+  throw std::invalid_argument(
+      "unrecognized backend (want auto|gbf|tbf|apbf): " + text);
+}
 
 /// Parses "sliding:N", "jumping:N:Q", "landmark:N",
 /// "sliding-time:SPAN_US:UNIT_US", "jumping-time:SPAN_US:Q:UNIT_US" — the
@@ -77,6 +91,7 @@ inline std::unique_ptr<core::DuplicateDetector> build_detector(
     const DetectorConfig& cfg) {
   core::DetectorBudget budget;
   budget.hash_count = cfg.hashes;
+  budget.backend = cfg.backend;
   if (cfg.shards <= 1) {
     budget.total_memory_bits = cfg.memory_bits;
     return core::make_detector(cfg.window, budget);

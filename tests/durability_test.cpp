@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "adnet/detector_pool.hpp"
+#include "baseline/landmark_detector.hpp"
 #include "core/group_bloom_filter.hpp"
 #include "core/sharded_detector.hpp"
 #include "core/timing_bloom_filter.hpp"
@@ -776,6 +777,37 @@ TEST(PpcdCli, SigtermDrainWritesRestorableSnapshot) {
                           " --restore=" + snap);
   EXPECT_NE(r2.output.find("restored window state"), std::string::npos)
       << r2.output;
+}
+
+// A --snapshot configuration over a backend with no snapshot format must be
+// refused AT CONSTRUCTION, naming the backend — not discovered mid-drain
+// after hours of ingest when save() finally throws.
+TEST(Durability, SnapshotPathOverSnapshotlessBackendFailsUpFront) {
+  baseline::LandmarkBloomDetector::Options o;
+  o.bits = 1 << 12;
+  o.hash_count = 4;
+  baseline::LandmarkBloomDetector detector(core::WindowSpec::landmark_count(64),
+                                           o);
+  ASSERT_FALSE(detector.supports_snapshots());
+  server::DetectorSink sink(detector);
+  EXPECT_FALSE(sink.supports_snapshots());
+
+  server::IngestServer::Options opts;
+  opts.snapshot_path = "/tmp/ppc_never_written.snap";
+  try {
+    server::IngestServer srv(sink, opts);
+    FAIL() << "IngestServer accepted --snapshot over a snapshot-less backend";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("does not support snapshots"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(sink.describe()), std::string::npos)
+        << "error must name the backend: " << e.what();
+  }
+
+  // Without a snapshot path the same sink serves fine.
+  server::IngestServer::Options plain;
+  EXPECT_NO_THROW(server::IngestServer srv2(sink, plain));
 }
 
 }  // namespace

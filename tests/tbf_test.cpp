@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "baseline/exact_detectors.hpp"
+#include "core/detector_factory.hpp"
 #include "core/timing_bloom_filter.hpp"
 #include "detector_test_util.hpp"
 #include "analysis/validity_oracle.hpp"
@@ -243,6 +244,65 @@ INSTANTIATE_TEST_SUITE_P(
                       TbfPropertyCase{2, 0, 0.6, 0, 12},
                       TbfPropertyCase{997, 0, 0.3, 0, 13},     // prime N
                       TbfPropertyCase{1000, 3, 0.3, 0, 14}));  // N % Q != 0
+
+// resolve_geometry is the single source of truth for the tick model shared
+// by the constructor and the factory's entry-count sizing — regression
+// tests pin the corner cases that used to live (divergently) in both.
+TEST(TbfGeometry, SingleTickWindowCorner) {
+  const auto g =
+      TimingBloomFilter::resolve_geometry(WindowSpec::sliding_count(1), 0);
+  EXPECT_EQ(g.window_ticks, 1u);
+  EXPECT_EQ(g.granularity, 1u);
+  EXPECT_EQ(g.c, 1u);  // the C default max(1, ticks-1) never hits zero
+  EXPECT_EQ(g.wrap, 2u);
+  EXPECT_EQ(g.entry_bits, 2u);  // timestamps {0,1} + reserved EMPTY
+
+  // jumping with Q == 1 sub-window is also a one-tick window.
+  const auto j =
+      TimingBloomFilter::resolve_geometry(WindowSpec::jumping_count(8, 1), 0);
+  EXPECT_EQ(j.window_ticks, 1u);
+  EXPECT_EQ(j.granularity, 8u);
+  EXPECT_EQ(j.c, 1u);
+
+  // A filter at this corner still behaves. A window of the last 1 arrival
+  // holds no PREVIOUS arrival at query time (the repeat arrives at
+  // position N == 1, already outside — same rule SlidingExpiryIsExactlyN
+  // pins for larger N), so every offer is fresh.
+  TimingBloomFilter tiny(WindowSpec::sliding_count(1), small_opts(1u << 10));
+  EXPECT_FALSE(tiny.offer(42));
+  EXPECT_FALSE(tiny.offer(42));
+}
+
+TEST(TbfGeometry, TinyTimeWindowCorners) {
+  // One time unit per window: R = 1 tick.
+  const auto g = TimingBloomFilter::resolve_geometry(
+      WindowSpec::sliding_time(1'000, 1'000), 0);
+  EXPECT_EQ(g.window_ticks, 1u);
+  EXPECT_EQ(g.c, 1u);
+  // Exact division only — rejecting (not truncating) a length that is not
+  // a multiple of the unit is the locked-in contract: a silently truncated
+  // tick count would undersize the wrap space and alias timestamps.
+  EXPECT_THROW(TimingBloomFilter::resolve_geometry(
+                   WindowSpec::sliding_time(1'500, 1'000), 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      TimingBloomFilter(WindowSpec::sliding_time(1'500, 1'000), small_opts()),
+      std::invalid_argument);
+  EXPECT_THROW(make_detector(WindowSpec::sliding_time(1'500, 1'000),
+                             DetectorBudget{}),
+               std::invalid_argument);
+}
+
+TEST(TbfGeometry, ConstructorAndGeometryAgreeOnEntryBits) {
+  for (const auto& w :
+       {WindowSpec::sliding_count(1), WindowSpec::sliding_count(1000),
+        WindowSpec::jumping_count(1000, 8),
+        WindowSpec::sliding_time(1'000'000, 1'000)}) {
+    const auto g = TimingBloomFilter::resolve_geometry(w, 0);
+    TimingBloomFilter f(w, small_opts(1u << 10));
+    EXPECT_EQ(f.memory_bits(), (1u << 10) * g.entry_bits) << w.describe();
+  }
+}
 
 TEST(TbfDeterminism, SameSeedSameVerdicts) {
   const auto w = WindowSpec::sliding_count(512);

@@ -33,12 +33,12 @@ TSAN_ONLY=0
 
 TSAN_TESTS=(sharded_test runtime_test parallel_batch_test batch_times_test
             spsc_ring_test engine_equivalence_test wire_fuzz_test
-            server_e2e_test durability_test)
+            server_e2e_test durability_test apbf_test conformance_test)
 # Tests whose ShardedDetectors default to kAuto and therefore change
 # behaviour under PPC_ENGINE_DEFAULT=ON (the rest construct their mode
 # explicitly or don't touch ShardedDetector at all).
 ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test
-                        server_e2e_test durability_test)
+                        server_e2e_test durability_test conformance_test)
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   echo "== tier-1: build + ctest =="

@@ -2,8 +2,9 @@
 //
 //   ppc_loadgen --connect=127.0.0.1:4817 --connections=4 --clicks=1000000
 //               --batch=1024 [--inflight=4] [--seed=1] [--verify=on|off]
-//               [--window=... --memory-mib=... --hashes=... --shards=...
-//                --owners=... --engine=...]   (mirror of the ppcd flags)
+//               [--window=... --memory-mib=... --hashes=... --backend=...
+//                --shards=... --owners=... --engine=...]
+//               (mirror of the ppcd flags)
 //
 // Each connection runs on its own thread: a deterministic Zipf click
 // stream (stream::MixedTrafficStream, seed = --seed + connection index,
@@ -58,8 +59,9 @@ namespace {
       "                       connections across N SO_REUSEPORT loops and\n"
       "                       report per-connection RTT skew (warns instead\n"
       "                       of failing on 1-core hosts)\n"
-      "  --window=SPEC --memory-mib=M --hashes=K --shards=S --owners=T\n"
-      "  --engine=auto|on|off mirror of the ppcd detector flags (oracle)\n",
+      "  --window=SPEC --memory-mib=M --hashes=K --backend=B --shards=S\n"
+      "  --owners=T --engine=auto|on|off\n"
+      "                       mirror of the ppcd detector flags (oracle)\n",
       argv0);
   std::exit(2);
 }
@@ -240,6 +242,7 @@ int main(int argc, char** argv) {
         flag(flags, "window", "jumping:1048576:8"));
     cfg.memory_bits = flag_u64(flags, "memory-mib", 16) << 23;
     cfg.hashes = flag_u64(flags, "hashes", 7);
+    cfg.backend = server::parse_backend_spec(flag(flags, "backend", "auto"));
     cfg.shards = flag_u64(flags, "shards", 1);
     cfg.owners = flag_u64(flags, "owners", 1);
     const std::string engine = flag(flags, "engine", "auto");

@@ -55,6 +55,8 @@ namespace {
       "                       jumping-time:SPAN_US:Q:UNIT_US\n"
       "  --memory-mib=M       filter memory per detector (default 16)\n"
       "  --hashes=K           hash functions (default 7)\n"
+      "  --backend=B          auto|gbf|tbf|apbf (default auto = the paper's\n"
+      "                       per-window choice)\n"
       "  --sink=pool|sharded  per-ad DetectorPool or one ShardedDetector\n"
       "  --shards=S           shards per detector (default 1 = unsharded)\n"
       "  --owners=T           engine owner threads / fan-out lanes\n"
@@ -126,6 +128,7 @@ int main(int argc, char** argv) {
         flag(flags, "window", "jumping:1048576:8"));
     cfg.memory_bits = flag_u64(flags, "memory-mib", 16) << 23;  // MiB → bits
     cfg.hashes = flag_u64(flags, "hashes", 7);
+    cfg.backend = server::parse_backend_spec(flag(flags, "backend", "auto"));
     cfg.shards = flag_u64(flags, "shards", 1);
     cfg.owners = flag_u64(flags, "owners", 1);
     const std::string engine = flag(flags, "engine", "auto");
