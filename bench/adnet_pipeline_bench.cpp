@@ -5,11 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "adnet/billing.hpp"
+#include "adnet/detector_pool.hpp"
 #include "baseline/exact_detectors.hpp"
 #include "core/detector_factory.hpp"
 #include "stream/generators.hpp"
+#include "stream/rng.hpp"
+#include "stream/zipf.hpp"
 
 namespace {
 
@@ -70,6 +74,41 @@ void BM_Billing_Exact(benchmark::State& state) {
                           core::WindowSpec::sliding_count(kWindow)));
 }
 BENCHMARK(BM_Billing_Exact);
+
+// DetectorPool::offer_batch route path: Zipf-distributed ad ids over many
+// pooled per-ad detectors, batches of `state.range(0)` clicks. Dominated by
+// the per-batch ad-grouping pass plus the per-ad offer_batch pipelines —
+// the number the pool's grouping scratch-table optimization moves.
+void BM_Pool_OfferBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  core::DetectorBudget budget;
+  budget.total_memory_bits = 1ull << 18;
+  adnet::DetectorPool pool([budget](std::uint32_t) {
+    return core::make_detector(core::WindowSpec::jumping_count(1 << 12, 8),
+                               budget);
+  });
+  stream::Rng rng(42);
+  const stream::ZipfSampler zipf(512, 1.1);
+  std::vector<std::uint32_t> ads(batch);
+  std::vector<core::ClickId> ids(batch);
+  std::vector<char> verdicts(batch);
+  std::uint64_t next_id = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < batch; ++i) {
+      ads[i] = static_cast<std::uint32_t>(zipf.sample(rng));
+      ids[i] = next_id++;
+    }
+    state.ResumeTiming();
+    pool.offer_batch(ads, ids,
+                     std::span<bool>(reinterpret_cast<bool*>(verdicts.data()),
+                                     batch));
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Pool_OfferBatch)->Arg(256)->Arg(4096)->Arg(16384);
 
 }  // namespace
 

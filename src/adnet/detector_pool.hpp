@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "core/duplicate_detector.hpp"
 #include "core/sharded_detector.hpp"
 #include "core/snapshot_io.hpp"
+#include "hashing/hash_common.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ppc::adnet {
@@ -71,8 +73,17 @@ class DetectorPool {
   /// pool, ad groups fan out across its threads (one task per ad keeps the
   /// per-ad detector single-threaded). All spans share one timestamp, like
   /// DuplicateDetector::offer_batch.
-  /// @throws std::length_error if creating a first-seen ad's detector
-  ///         would exceed the memory cap (some verdicts are then unset).
+  ///
+  /// Partial-failure contract: every first-seen ad in the batch is admitted
+  /// (its detector created under the memory cap) BEFORE any group is
+  /// drained. A std::length_error from the cap therefore rejects the batch
+  /// ATOMICALLY: no click has been offered, every verdict is unset, and no
+  /// window state changed — the caller may evict and retry the identical
+  /// batch. Detectors admitted for earlier first-seen ads in the failing
+  /// batch remain in the pool (empty, correctly metered); they hold no
+  /// clicks, so retrying yields the verdicts of an untouched replay.
+  /// @throws std::length_error if admitting a first-seen ad's detector
+  ///         would exceed the memory cap (before any verdict is computed).
   void offer_batch(std::span<const std::uint32_t> ad_ids,
                    std::span<const core::ClickId> ids, std::span<bool> out,
                    std::uint64_t time_us = 0,
@@ -96,6 +107,28 @@ class DetectorPool {
   }
 
  private:
+  /// Reusable per-thread grouping scratch. The slot arrays form an
+  /// open-addressing hash table (linear probing, power-of-two size) whose
+  /// entries are invalidated by EPOCH STAMP instead of clearing: a slot
+  /// belongs to the current batch iff slot_epoch[s] == epoch, so starting a
+  /// new batch is one increment, not an O(table) wipe — and, unlike the
+  /// unordered_map this replaced, steady state allocates nothing.
+  struct GroupScratch {
+    std::vector<std::uint32_t> slot_group;  ///< group index at this slot
+    std::vector<std::uint32_t> slot_ad;     ///< ad id occupying this slot
+    std::vector<std::uint64_t> slot_epoch;  ///< batch stamp; stale ≠ epoch
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> head, tail;  ///< per group: chain ends
+    std::vector<std::uint32_t> next;        ///< per element: chain link
+    std::vector<std::uint32_t> group_ad;    ///< per group: its ad id
+    std::vector<core::DuplicateDetector*> group_det;  ///< admitted detectors
+  };
+
+  static GroupScratch& group_scratch() {
+    static thread_local GroupScratch scratch;
+    return scratch;
+  }
+
   void offer_batch_impl(std::span<const std::uint32_t> ad_ids,
                         std::span<const core::ClickId> ids,
                         const std::uint64_t* times, std::uint64_t time_us,
@@ -106,26 +139,58 @@ class DetectorPool {
       throw std::invalid_argument("DetectorPool::offer_batch: span mismatch");
     }
 
-    // Group element indices by ad, preserving arrival order within an ad.
-    // A flat chain layout (first/next index per element) avoids per-ad
-    // vector churn on every batch.
-    std::unordered_map<std::uint32_t, std::uint32_t> group_of;  // ad → group
-    std::vector<std::uint32_t> head, tail;  // per group: chain ends
-    std::vector<std::uint32_t> next(n, kNone);
-    std::vector<std::uint32_t> group_ad;
+    // Group element indices by ad, preserving arrival order within an ad
+    // (group numbering = first-occurrence order, exactly like the map-based
+    // grouping this replaced, so verdicts are bit-identical). A flat chain
+    // layout (first/next index per element) avoids per-ad vector churn.
+    GroupScratch& gs = group_scratch();
+    const std::size_t slots = std::bit_ceil(std::max<std::size_t>(16, 2 * n));
+    if (gs.slot_epoch.size() < slots) {
+      gs.slot_group.resize(slots);
+      gs.slot_ad.resize(slots);
+      gs.slot_epoch.assign(slots, 0);  // stamp 0 < any live epoch
+    }
+    const std::size_t mask = gs.slot_epoch.size() - 1;
+    ++gs.epoch;
+    gs.head.clear();
+    gs.tail.clear();
+    gs.group_ad.clear();
+    gs.next.resize(std::max(gs.next.size(), n));
     for (std::size_t i = 0; i < n; ++i) {
-      const auto [it, fresh] = group_of.try_emplace(
-          ad_ids[i], static_cast<std::uint32_t>(group_ad.size()));
-      if (fresh) {
-        group_ad.push_back(ad_ids[i]);
-        head.push_back(static_cast<std::uint32_t>(i));
-        tail.push_back(static_cast<std::uint32_t>(i));
+      const std::uint32_t ad = ad_ids[i];
+      std::size_t s = hashing::fmix64(ad) & mask;
+      while (gs.slot_epoch[s] == gs.epoch && gs.slot_ad[s] != ad) {
+        s = (s + 1) & mask;
+      }
+      gs.next[i] = kNone;
+      if (gs.slot_epoch[s] != gs.epoch) {  // first sight of this ad
+        gs.slot_epoch[s] = gs.epoch;
+        gs.slot_ad[s] = ad;
+        gs.slot_group[s] = static_cast<std::uint32_t>(gs.group_ad.size());
+        gs.group_ad.push_back(ad);
+        gs.head.push_back(static_cast<std::uint32_t>(i));
+        gs.tail.push_back(static_cast<std::uint32_t>(i));
       } else {
-        next[tail[it->second]] = static_cast<std::uint32_t>(i);
-        tail[it->second] = static_cast<std::uint32_t>(i);
+        const std::uint32_t g = gs.slot_group[s];
+        gs.next[gs.tail[g]] = static_cast<std::uint32_t>(i);
+        gs.tail[g] = static_cast<std::uint32_t>(i);
       }
     }
 
+    // Admission phase: create (or find) every group's detector BEFORE any
+    // group drains. A memory-cap length_error escapes here, while zero
+    // clicks have been offered — the partial-failure contract offer_batch
+    // documents. Caching the pointers also keeps the drain tasks off the
+    // pool lock entirely (erasure of OTHER ads never moves these nodes).
+    gs.group_det.clear();
+    for (std::size_t g = 0; g < gs.group_ad.size(); ++g) {
+      gs.group_det.push_back(&detector_for(gs.group_ad[g]));
+    }
+
+    const auto& head = gs.head;
+    const auto& next = gs.next;
+    const auto& group_ad = gs.group_ad;
+    const auto& group_det = gs.group_det;
     auto drain_group = [&](std::size_t g) {
       // Per-task gather buffers; thread_local so pool workers reuse them.
       static thread_local std::vector<core::ClickId> batch_ids;
@@ -145,12 +210,12 @@ class DetectorPool {
           reinterpret_cast<bool*>(batch_verdicts.data()),
           batch_verdicts.size());
       if (times != nullptr) {
-        detector_for(group_ad[g]).offer_batch(
+        group_det[g]->offer_batch(
             std::span<const core::ClickId>(batch_ids),
             std::span<const std::uint64_t>(batch_times), verdict_span);
       } else {
-        detector_for(group_ad[g]).offer_batch(
-            std::span<const core::ClickId>(batch_ids), verdict_span, time_us);
+        group_det[g]->offer_batch(std::span<const core::ClickId>(batch_ids),
+                                  verdict_span, time_us);
       }
       for (std::size_t j = 0; j < batch_origin.size(); ++j) {
         out[batch_origin[j]] = batch_verdicts[j] != 0;

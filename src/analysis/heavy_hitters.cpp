@@ -1,6 +1,15 @@
 #include "analysis/heavy_hitters.hpp"
 
+#include <string>
+
+#include "core/snapshot_io.hpp"
+
 namespace ppc::analysis {
+
+namespace {
+// "PPCSSHH1" — Space-Saving summary snapshot, little-endian byte tag.
+constexpr std::uint64_t kSpaceSavingMagic = 0x50504353'53484831ULL;
+}  // namespace
 
 void SpaceSaving::increment(BucketList::iterator bucket, ItemIter item) {
   const std::uint64_t new_count = bucket->count + 1;
@@ -61,6 +70,63 @@ std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t n) const {
   auto all = entries();
   if (all.size() > n) all.resize(n);
   return all;
+}
+
+void SpaceSaving::save(std::ostream& out) const {
+  core::detail::write_u64(out, kSpaceSavingMagic);
+  core::detail::write_u64(out, capacity_);
+  core::detail::write_u64(out, stream_length_);
+  core::detail::write_u64(out, index_.size());
+  // Ascending count order: restore() can rebuild the bucket list by
+  // appending, and the monotonicity doubles as a corruption check.
+  for (const auto& bucket : buckets_) {
+    for (const Entry& e : bucket.items) {
+      core::detail::write_u64(out, e.key);
+      core::detail::write_u64(out, e.count);
+      core::detail::write_u64(out, e.error);
+    }
+  }
+}
+
+void SpaceSaving::restore(std::istream& in) {
+  core::detail::expect_magic(in, kSpaceSavingMagic, "SpaceSaving");
+  const std::uint64_t capacity = core::detail::read_u64(in);
+  if (capacity != capacity_) {
+    throw std::runtime_error(
+        "SpaceSaving::restore: capacity mismatch (snapshot " +
+        std::to_string(capacity) + ", instance " +
+        std::to_string(capacity_) + ")");
+  }
+  const std::uint64_t stream_length = core::detail::read_u64(in);
+  const std::uint64_t count = core::detail::read_u64(in);
+  if (count > capacity_) {
+    throw std::runtime_error("SpaceSaving::restore: " + std::to_string(count) +
+                             " entries exceed capacity");
+  }
+  clear();
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    e.key = core::detail::read_u64(in);
+    e.count = core::detail::read_u64(in);
+    e.error = core::detail::read_u64(in);
+    if (e.count < prev || e.error > e.count || e.count == 0 ||
+        index_.contains(e.key)) {
+      clear();
+      throw std::runtime_error(
+          "SpaceSaving::restore: corrupt entry stream at index " +
+          std::to_string(i));
+    }
+    prev = e.count;
+    if (buckets_.empty() || buckets_.back().count != e.count) {
+      buckets_.push_back(Bucket{e.count, {}});
+    }
+    auto bucket = std::prev(buckets_.end());
+    bucket->items.push_front(e);
+    index_[e.key] = bucket->items.begin();
+    bucket_of_[e.key] = bucket;
+  }
+  stream_length_ = stream_length;
 }
 
 }  // namespace ppc::analysis

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <stdexcept>
 #include <unordered_map>
@@ -58,8 +59,20 @@ class SpaceSaving {
   void clear() {
     buckets_.clear();
     index_.clear();
+    bucket_of_.clear();
     stream_length_ = 0;
   }
+
+  /// Serializes the full summary (capacity, stream length, every monitored
+  /// entry) so heavy-hitter-driven state — e.g. the tiered pool's
+  /// promotion loop — survives a snapshot/restore cycle.
+  void save(std::ostream& out) const;
+
+  /// Restores state saved by save() INTO THIS INSTANCE. The snapshot's
+  /// capacity must match this instance's; corrupt input (counts out of
+  /// order, error > count, too many entries) throws std::runtime_error
+  /// and leaves the summary cleared.
+  void restore(std::istream& in);
 
  private:
   // Stream-Summary structure: buckets in ascending count order, each

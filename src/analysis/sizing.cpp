@@ -84,4 +84,53 @@ double tbf_over_gbf_memory_ratio(std::uint64_t window_n, std::uint32_t q,
          static_cast<double>(gbf.total_bits);
 }
 
+BudgetPlan plan_budget(const core::WindowSpec& window, double target_fpr,
+                       std::uint64_t expected_window_clicks) {
+  window.validate();
+  check_fpr(target_fpr);
+  // Elements the filter must hold at once: the window length for count
+  // basis, the caller's rate estimate for time basis (where the window
+  // holds "whatever arrived in the span" and only measurement can say how
+  // much that is).
+  std::uint64_t n = window.length;
+  if (window.basis == core::WindowBasis::kTime) {
+    if (expected_window_clicks == 0) {
+      throw std::invalid_argument(
+          "plan_budget: time-basis windows need expected_window_clicks "
+          "(clicks per span, from observed rates)");
+    }
+    n = expected_window_clicks;
+  }
+  n = std::max<std::uint64_t>(n, 1);
+
+  BudgetPlan plan;
+  // Mirror make_detector's kAuto dispatch (default max_gbf_subwindows=63)
+  // so the budget we size is the budget the detector actually spends.
+  const bool gbf =
+      window.kind == core::WindowKind::kLandmark ||
+      (window.kind == core::WindowKind::kJumping &&
+       (window.subwindows <= 63 || window.basis == core::WindowBasis::kTime));
+  if (gbf) {
+    const std::uint32_t q =
+        window.kind == core::WindowKind::kLandmark ? 1 : window.subwindows;
+    const GbfPlan g = plan_gbf(n, q, target_fpr);
+    plan.total_memory_bits = g.total_bits;
+    plan.hash_count = g.hash_count;
+    plan.predicted_fpr = g.predicted_fpr;
+  } else {
+    TbfPlan t = plan_tbf(n, target_fpr);
+    if (window.basis == core::WindowBasis::kTime) {
+      // Entry width follows the WINDOW's tick count (wraparound space),
+      // not the element estimate — same resolution the TBF itself does.
+      const std::uint64_t ticks =
+          std::max<std::uint64_t>(1, window.length / window.time_unit_us);
+      t.total_bits = t.entries * tbf_entry_bits(ticks, ticks > 1 ? ticks - 1 : 1);
+    }
+    plan.total_memory_bits = t.total_bits;
+    plan.hash_count = t.hash_count;
+    plan.predicted_fpr = t.predicted_fpr;
+  }
+  return plan;
+}
+
 }  // namespace ppc::analysis

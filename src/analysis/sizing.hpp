@@ -49,4 +49,25 @@ TbfPlan plan_tbf(std::uint64_t window_n, double target_fpr,
 double tbf_over_gbf_memory_ratio(std::uint64_t window_n, std::uint32_t q,
                                  double target_fpr);
 
+/// A sized core::DetectorBudget for one window: feed `total_memory_bits` and
+/// `hash_count` straight into make_detector and the paper-recommended
+/// backend for `window` lands at ≤ `target_fpr`.
+struct BudgetPlan {
+  std::uint64_t total_memory_bits = 0;
+  std::size_t hash_count = 0;
+  double predicted_fpr = 0.0;
+};
+
+/// Sizes a make_detector budget for `window` at FP target `target_fpr`,
+/// mirroring make_detector's own backend dispatch (GBF for landmark and
+/// small-Q jumping, TBF otherwise). Count-basis windows size from the
+/// window length itself; time-basis windows hold however many clicks the
+/// stream delivers in the span, so the caller must pass the OBSERVED (or
+/// planned) `expected_window_clicks` — this is the hook the adaptive pool
+/// uses to right-size hot ads from measured rates.
+/// @throws std::invalid_argument if a time-basis window is planned with
+///         expected_window_clicks == 0.
+BudgetPlan plan_budget(const core::WindowSpec& window, double target_fpr,
+                       std::uint64_t expected_window_clicks = 0);
+
 }  // namespace ppc::analysis

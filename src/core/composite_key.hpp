@@ -1,0 +1,31 @@
+// Composite click keys for SHARED (multi-ad) detectors.
+//
+// Per-ad detectors key on the click identifier alone — the ad is implied by
+// which detector the click was routed to. A shared tail-tier detector holds
+// many ads in ONE filter, so the key must bind the ad id into the
+// fingerprint: otherwise identical identifiers under different ads would
+// alias ("user clicked ad A" would mark "user clicked ad B" a duplicate).
+#pragma once
+
+#include <cstdint>
+
+#include "core/duplicate_detector.hpp"
+#include "hashing/hash_common.hpp"
+
+namespace ppc::core {
+
+/// Mixes (ad_id, click_id) into one 64-bit key for a shared detector.
+///
+/// The ad id is spread over the full word with a golden-ratio multiply
+/// before the bijective fmix64 finalizer, so distinct (ad, id) pairs
+/// collide only at the 64-bit birthday rate — far below any Bloom FP
+/// target this library plans for — and the same pair always maps to the
+/// same key (required for duplicate detection to work at all).
+constexpr ClickId composite_click_key(std::uint32_t ad_id,
+                                      ClickId id) noexcept {
+  return hashing::fmix64(
+      id ^ ((static_cast<std::uint64_t>(ad_id) + 1) *
+            0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace ppc::core

@@ -99,6 +99,8 @@ inline constexpr std::uint64_t kPoolMagic = 0x50504350'4F4F4C31ULL;     // "PPCP
 inline constexpr std::uint64_t kServerSnapshotMagic =
     0x50504353'52563031ULL;  // "PPCSRV01"
 inline constexpr std::uint64_t kApbfMagic = 0x50504341'50424631ULL;  // "PPCAPBF1"
+inline constexpr std::uint64_t kTieredPoolMagic =
+    0x50504354'49455231ULL;  // "PPCTIER1"
 
 inline constexpr std::uint64_t kSnapshotFormatVersion = 1;
 

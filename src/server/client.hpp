@@ -128,6 +128,31 @@ class BlockingClient {
     send_raw(scratch_);
   }
 
+  void send_stats() {
+    scratch_.clear();
+    wire::append_stats(scratch_);
+    send_raw(scratch_);
+  }
+
+  /// Synchronous STATS round trip: sends the request and blocks until the
+  /// STATS_ACK arrives. Only usable when no verdict frames are in flight
+  /// on this connection (send a DRAIN first, or query from a dedicated
+  /// stats connection — the pattern ppcd --stats-interval uses); an
+  /// unexpected frame type throws.
+  wire::StatsReport request_stats() {
+    send_stats();
+    wire::FrameView frame;
+    if (!read_frame(frame) || frame.type != wire::FrameType::kStatsAck) {
+      throw std::runtime_error("BlockingClient: no STATS_ACK");
+    }
+    wire::StatsReport report;
+    std::string err;
+    if (!wire::parse_stats_ack(frame.payload, report, err)) {
+      throw std::runtime_error("BlockingClient: bad STATS_ACK: " + err);
+    }
+    return report;
+  }
+
   /// Blocks until one complete frame is available and returns a view of it
   /// (valid until the next read_frame call). Returns false on orderly EOF
   /// with an empty buffer; throws on malformed frames or socket errors.

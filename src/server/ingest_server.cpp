@@ -183,10 +183,25 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
       flush_requested_ = true;
       return true;
     }
+    case wire::FrameType::kStats: {
+      if (!wire::parse_stats(frame.payload, why)) return false;
+      // Answered immediately like PING (no flush barrier): the report
+      // reflects flushed clicks, which is what a sampling dashboard wants.
+      wire::StatsReport report = srv_.sink_.stats_report();
+      if (report.clicks == 0 && report.duplicates == 0) {
+        report.clicks = srv_.clicks_.load(std::memory_order_relaxed);
+        report.duplicates = srv_.duplicates_.load(std::memory_order_relaxed);
+      }
+      reply_scratch_.clear();
+      wire::append_stats_ack(reply_scratch_, report);
+      conn.send(reply_scratch_);
+      return true;
+    }
     case wire::FrameType::kHelloAck:
     case wire::FrameType::kVerdictBatch:
     case wire::FrameType::kPong:
     case wire::FrameType::kDrainAck:
+    case wire::FrameType::kStatsAck:
       why = std::string("client sent server-only frame ") +
             frame_type_name(frame.type);
       return false;

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "adnet/detector_pool.hpp"
+#include "adnet/tiered_detector_pool.hpp"
 #include "core/duplicate_detector.hpp"
 #include "server/event_loop.hpp"
 #include "server/wire.hpp"
@@ -91,6 +92,12 @@ class ClickSink {
     throw std::runtime_error("backend " + describe() +
                              " does not support snapshots (restore)");
   }
+
+  /// Operational accounting behind the wire STATS frame. Sinks fill what
+  /// they know (memory, tier populations); when the totals come back zero
+  /// the server backfills clicks/duplicates from its own counters. Must be
+  /// safe to call from any loop thread while offers run elsewhere.
+  virtual wire::StatsReport stats_report() const { return {}; }
 };
 
 /// Feeds one detector shared by every ad (ad ids ignored) through the
@@ -113,6 +120,11 @@ class DetectorSink final : public ClickSink {
   }
   void save_state(std::ostream& out) const override { detector_.save(out); }
   void restore_state(std::istream& in) override { detector_.restore(in); }
+  wire::StatsReport stats_report() const override {
+    wire::StatsReport r;
+    r.memory_bits = detector_.memory_bits();
+    return r;
+  }
 
  private:
   core::DuplicateDetector& detector_;
@@ -154,11 +166,65 @@ class PoolSink final : public ClickSink {
   bool supports_snapshots() const noexcept override { return true; }
   void save_state(std::ostream& out) const override { pool_.save(out); }
   void restore_state(std::istream& in) override { pool_.restore(in); }
+  wire::StatsReport stats_report() const override {
+    wire::StatsReport r;
+    r.memory_bits = pool_.memory_bits();
+    r.memory_cap_bits = pool_.memory_cap_bits();
+    r.hot_ads = pool_.size();  // every pooled ad is a dedicated detector
+    r.hot_memory_bits = r.memory_bits;
+    return r;
+  }
 
  private:
   adnet::DetectorPool& pool_;
   runtime::ThreadPool* fanout_;
   bool concurrent_detectors_;
+};
+
+/// Routes clicks through an adnet::TieredDetectorPool — the open-admission
+/// hot/tail pool. Offers are serialized by the pool's internal mutex, so
+/// the sink reports concurrent() == false and lets the multi-loop server's
+/// external mutex stand down to just one layer of locking.
+class TieredPoolSink final : public ClickSink {
+ public:
+  explicit TieredPoolSink(adnet::TieredDetectorPool& pool) : pool_(pool) {}
+  void offer(std::span<const std::uint32_t> ad_ids,
+             std::span<const core::ClickId> ids,
+             std::span<const std::uint64_t> times,
+             std::span<bool> out) override {
+    pool_.offer_batch(ad_ids, ids, times, out);
+  }
+  std::string describe() const override {
+    return "TieredDetectorPool[" + std::to_string(pool_.stats().hot_ads) +
+           " hot ads + shared tail]";
+  }
+  bool supports_snapshots() const noexcept override { return true; }
+  void save_state(std::ostream& out) const override { pool_.save(out); }
+  void restore_state(std::istream& in) override { pool_.restore(in); }
+  wire::StatsReport stats_report() const override {
+    const adnet::TierStats s = pool_.stats();
+    wire::StatsReport r;
+    r.clicks = s.clicks;
+    r.duplicates = s.duplicates;
+    r.memory_bits = s.memory_bits;
+    r.memory_cap_bits = s.memory_cap_bits;
+    r.hot_ads = s.hot_ads;
+    r.hot_memory_bits = s.hot_memory_bits;
+    r.hot_clicks = s.hot_clicks;
+    r.hot_duplicates = s.hot_duplicates;
+    r.tail_memory_bits = s.tail_memory_bits;
+    r.tail_clicks = s.tail_clicks;
+    r.tail_duplicates = s.tail_duplicates;
+    r.promotions = s.promotions;
+    r.demotions = s.demotions;
+    r.promotion_deferrals = s.promotion_deferrals;
+    r.hot_target_fpr = s.hot_target_fpr;
+    r.tail_target_fpr = s.tail_target_fpr;
+    return r;
+  }
+
+ private:
+  adnet::TieredDetectorPool& pool_;
 };
 
 class IngestServer final {

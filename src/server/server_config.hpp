@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "adnet/tiered_detector_pool.hpp"
 #include "core/detector_factory.hpp"
 #include "core/duplicate_detector.hpp"
 #include "core/sharded_detector.hpp"
@@ -81,6 +82,38 @@ inline core::WindowSpec parse_window_spec(const std::string& text) {
         num(1), static_cast<std::uint32_t>(num(2)), num(3));
   }
   throw std::invalid_argument("unrecognized window spec: " + text);
+}
+
+/// The adaptive-pool knobs ppcd's --sink=tiered flags map onto; one struct
+/// so the daemon, the e2e tests, and any future loadgen oracle construct
+/// the SAME adnet::TieredPoolOptions from the same numbers.
+struct TieredConfig {
+  std::uint64_t memory_cap_bits = std::uint64_t{1} << 33;
+  core::WindowSpec hot_window = core::WindowSpec::sliding_count(1 << 12);
+  double hot_fpr = 1e-4;
+  std::uint64_t tail_window_clicks = std::uint64_t{1} << 20;
+  double tail_fpr = 1e-3;
+  std::uint64_t epoch_clicks = std::uint64_t{1} << 16;
+  double promote_share = 1.0 / 512;
+  double demote_share = 1.0 / 4096;
+  std::size_t hh_capacity = 1024;
+};
+
+/// Builds the tiered pool for `cfg` (throws std::invalid_argument on
+/// nonsense knobs, e.g. a tail that alone exceeds the cap).
+inline std::unique_ptr<adnet::TieredDetectorPool> build_tiered_pool(
+    const TieredConfig& cfg) {
+  adnet::TieredPoolOptions opts;
+  opts.memory_cap_bits = cfg.memory_cap_bits;
+  opts.hot_window = cfg.hot_window;
+  opts.hot_target_fpr = cfg.hot_fpr;
+  opts.tail_window_clicks = cfg.tail_window_clicks;
+  opts.tail_target_fpr = cfg.tail_fpr;
+  opts.epoch_clicks = cfg.epoch_clicks;
+  opts.promote_share = cfg.promote_share;
+  opts.demote_share = cfg.demote_share;
+  opts.hh_capacity = cfg.hh_capacity;
+  return std::make_unique<adnet::TieredDetectorPool>(opts);
 }
 
 /// Builds one detector for one identifier population under `cfg`.

@@ -26,6 +26,10 @@
 //   PONG          u64 token                       echo of PING
 //   DRAIN         (empty)                         client -> server: flush
 //   DRAIN_ACK     u64 clicks, u64 duplicates      connection totals
+//   STATS         (empty)                         client -> server: report
+//   STATS_ACK     16 x u64 (see StatsReport)      server-wide sink stats;
+//                                                 per-tier fields are zero
+//                                                 for untiered sinks
 //
 // Decoding discipline (shared with core/snapshot_io.hpp): every length and
 // count decoded from the wire is validated against a hard cap AND against
@@ -82,6 +86,8 @@ enum class FrameType : std::uint8_t {
   kPong = 6,
   kDrain = 7,
   kDrainAck = 8,
+  kStats = 9,
+  kStatsAck = 10,
 };
 
 inline const char* frame_type_name(FrameType t) {
@@ -94,6 +100,8 @@ inline const char* frame_type_name(FrameType t) {
     case FrameType::kPong: return "PONG";
     case FrameType::kDrain: return "DRAIN";
     case FrameType::kDrainAck: return "DRAIN_ACK";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kStatsAck: return "STATS_ACK";
   }
   return "UNKNOWN";
 }
@@ -377,6 +385,62 @@ inline void append_drain_ack(std::vector<std::uint8_t>& out,
   detail::seal_frame(out, 16);
 }
 
+/// STATS_ACK payload: the serving sink's operational accounting, fixed
+/// sixteen u64 little-endian fields in declaration order (FP targets are
+/// IEEE-754 doubles carried via bit_cast). Untiered sinks fill the totals
+/// and memory fields and leave the per-tier fields zero; tiered sinks
+/// mirror adnet::TierStats, so an operator dashboard can watch memory and
+/// FPR budgets per tier without touching the click path.
+struct StatsReport {
+  std::uint64_t clicks = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t memory_bits = 0;
+  std::uint64_t memory_cap_bits = 0;
+  std::uint64_t hot_ads = 0;
+  std::uint64_t hot_memory_bits = 0;
+  std::uint64_t hot_clicks = 0;
+  std::uint64_t hot_duplicates = 0;
+  std::uint64_t tail_memory_bits = 0;
+  std::uint64_t tail_clicks = 0;
+  std::uint64_t tail_duplicates = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t promotion_deferrals = 0;
+  double hot_target_fpr = 0.0;
+  double tail_target_fpr = 0.0;
+
+  friend bool operator==(const StatsReport&, const StatsReport&) = default;
+};
+inline constexpr std::size_t kStatsReportBytes = 16 * 8;
+
+inline void append_stats(std::vector<std::uint8_t>& out) {
+  detail::open_frame(out, FrameType::kStats, 0);
+  detail::seal_frame(out, 0);
+}
+
+inline void append_stats_ack(std::vector<std::uint8_t>& out,
+                             const StatsReport& report) {
+  std::uint8_t* p =
+      detail::open_frame(out, FrameType::kStatsAck, kStatsReportBytes);
+  set_u64(p, report.clicks);
+  set_u64(p + 8, report.duplicates);
+  set_u64(p + 16, report.memory_bits);
+  set_u64(p + 24, report.memory_cap_bits);
+  set_u64(p + 32, report.hot_ads);
+  set_u64(p + 40, report.hot_memory_bits);
+  set_u64(p + 48, report.hot_clicks);
+  set_u64(p + 56, report.hot_duplicates);
+  set_u64(p + 64, report.tail_memory_bits);
+  set_u64(p + 72, report.tail_clicks);
+  set_u64(p + 80, report.tail_duplicates);
+  set_u64(p + 88, report.promotions);
+  set_u64(p + 96, report.demotions);
+  set_u64(p + 104, report.promotion_deferrals);
+  set_u64(p + 112, std::bit_cast<std::uint64_t>(report.hot_target_fpr));
+  set_u64(p + 120, std::bit_cast<std::uint64_t>(report.tail_target_fpr));
+  detail::seal_frame(out, kStatsReportBytes);
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 
@@ -422,7 +486,7 @@ inline DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
   }
   const std::uint8_t type = body[0];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kDrainAck)) {
+      type > static_cast<std::uint8_t>(FrameType::kStatsAck)) {
     error = "unknown frame type " + std::to_string(type);
     return DecodeStatus::kError;
   }
@@ -579,6 +643,43 @@ inline bool parse_drain_ack(std::span<const std::uint8_t> payload,
   }
   clicks = get_u64(payload.data());
   duplicates = get_u64(payload.data() + 8);
+  return true;
+}
+
+inline bool parse_stats(std::span<const std::uint8_t> payload,
+                        std::string& error) {
+  if (!payload.empty()) {
+    error = "STATS payload must be empty, got " +
+            std::to_string(payload.size()) + " bytes";
+    return false;
+  }
+  return true;
+}
+
+inline bool parse_stats_ack(std::span<const std::uint8_t> payload,
+                            StatsReport& report, std::string& error) {
+  if (payload.size() != kStatsReportBytes) {
+    error = "STATS_ACK payload must be " + std::to_string(kStatsReportBytes) +
+            " bytes, got " + std::to_string(payload.size());
+    return false;
+  }
+  const std::uint8_t* p = payload.data();
+  report.clicks = get_u64(p);
+  report.duplicates = get_u64(p + 8);
+  report.memory_bits = get_u64(p + 16);
+  report.memory_cap_bits = get_u64(p + 24);
+  report.hot_ads = get_u64(p + 32);
+  report.hot_memory_bits = get_u64(p + 40);
+  report.hot_clicks = get_u64(p + 48);
+  report.hot_duplicates = get_u64(p + 56);
+  report.tail_memory_bits = get_u64(p + 64);
+  report.tail_clicks = get_u64(p + 72);
+  report.tail_duplicates = get_u64(p + 80);
+  report.promotions = get_u64(p + 88);
+  report.demotions = get_u64(p + 96);
+  report.promotion_deferrals = get_u64(p + 104);
+  report.hot_target_fpr = std::bit_cast<double>(get_u64(p + 112));
+  report.tail_target_fpr = std::bit_cast<double>(get_u64(p + 120));
   return true;
 }
 

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
+#include <thread>
+#include <vector>
 
 #include "adnet/detector_pool.hpp"
 #include "adnet/rate_monitor.hpp"
@@ -73,6 +76,86 @@ TEST(DetectorPool, MemoryAccountingTracksLiveDetectors) {
   EXPECT_EQ(pool.memory_bits(), one);
   pool.evict(99);  // unknown ad: no-op
   EXPECT_EQ(pool.memory_bits(), one);
+}
+
+TEST(DetectorPool, BatchCapFailureIsAtomic) {
+  // offer_batch's partial-failure contract: every first-seen ad is admitted
+  // BEFORE any group drains, so a mid-batch memory-cap length_error leaves
+  // every verdict unset and no window state changed.
+  const std::size_t one = small_tbf()->memory_bits();
+  DetectorPool::Options opts;
+  opts.memory_cap_bits = 2 * one + 1;
+  DetectorPool pool([](std::uint32_t) { return small_tbf(); }, opts);
+  pool.offer(1, 500, 0);  // ad 1 occupies one budget share
+
+  const std::uint32_t ads[] = {2, 3, 2};
+  const core::ClickId ids[] = {7, 8, 7};
+  std::vector<char> out_raw(3, 1);  // sentinel: must stay untouched
+  const std::span<bool> out(reinterpret_cast<bool*>(out_raw.data()), 3);
+  EXPECT_THROW(pool.offer_batch(ads, ids, out, 0), std::length_error);
+
+  // No verdict was written, ad 2 was admitted (empty, metered), ad 3 never
+  // made it in, and ad 1's window is untouched.
+  for (const char v : out_raw) EXPECT_EQ(v, 1);
+  EXPECT_TRUE(pool.contains(2));
+  EXPECT_FALSE(pool.contains(3));
+  EXPECT_EQ(pool.memory_bits(), 2 * one);
+  EXPECT_TRUE(pool.offer(1, 500, 1)) << "ad 1's pre-batch click was lost";
+
+  // Freeing budget makes the IDENTICAL batch replay as if never attempted:
+  // ids 7 and 8 are first offers, the repeated 7 is the only duplicate.
+  pool.evict(1);
+  out_raw.assign(3, 1);
+  pool.offer_batch(ads, ids, out, 0);
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_TRUE(out[2]);
+}
+
+TEST(DetectorPool, EvictDuringConcurrentOfferBatch) {
+  // Regression for the pool lock: offer_batch drains cached detector
+  // pointers while evict() erases OTHER ads from the map. unordered_map
+  // erasure must never move the drained nodes; TSAN guards the lock
+  // discipline around the map and the memory meter.
+  DetectorPool pool([](std::uint32_t) { return small_tbf(1 << 10); });
+  for (std::uint32_t ad = 0; ad < 48; ++ad) pool.offer(ad, 1, 0);
+
+  constexpr int kRounds = 200;
+  constexpr std::size_t kBatch = 256;
+  // Two offer threads on disjoint ad ranges (per-ad detectors are not
+  // individually thread-safe); one evictor cycling a third, disjoint range.
+  // The verdicts themselves are not asserted (fresh ids may still collide
+  // in the filters); the test's subject is the lock discipline around the
+  // map and the memory meter, which TSAN checks.
+  auto offer_loop = [&](std::uint32_t ad_base, std::uint64_t id_base) {
+    std::vector<std::uint32_t> ads(kBatch);
+    std::vector<core::ClickId> ids(kBatch);
+    std::vector<char> out(kBatch);
+    const std::span<bool> out_span(reinterpret_cast<bool*>(out.data()),
+                                   kBatch);
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        ads[i] = ad_base + static_cast<std::uint32_t>(i % 16);
+        ids[i] = id_base + static_cast<std::uint64_t>(r) * kBatch + i;
+      }
+      pool.offer_batch(ads, ids, out_span, static_cast<std::uint64_t>(r));
+    }
+  };
+  std::thread a(offer_loop, 0u, std::uint64_t{1} << 32);
+  std::thread b(offer_loop, 16u, std::uint64_t{1} << 33);
+  std::thread evictor([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      for (std::uint32_t ad = 32; ad < 48; ++ad) pool.evict(ad);
+      for (std::uint32_t ad = 32; ad < 48; ++ad) {
+        pool.offer(ad, static_cast<std::uint64_t>(r) * 64 + ad, 0);
+      }
+    }
+  });
+  a.join();
+  b.join();
+  evictor.join();
+  EXPECT_EQ(pool.size(), 48u);
+  EXPECT_EQ(pool.memory_bits(), 48 * small_tbf(1 << 10)->memory_bits());
 }
 
 // ---------------------------------------------------- DuplicateRateMonitor

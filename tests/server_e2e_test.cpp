@@ -635,5 +635,95 @@ TEST(ServerE2E, MultiLoopGracefulDrainDeliversAllPendingVerdicts) {
   }
 }
 
+// STATS round trip against a plain pool sink: the sink reports what it
+// knows (memory, population) and the server backfills click/duplicate
+// totals from its own counters.
+TEST(ServerE2E, StatsRoundTripOnPoolSinkBackfillsTotals) {
+  const DetectorConfig cfg = gbf_config();
+  LoopbackServer server(cfg);
+  const auto clicks = make_clicks(1, 10'000, 61);
+
+  BlockingClient ingest;
+  ingest.connect("127.0.0.1", server.port());
+  ingest.handshake();
+  std::vector<bool> wire_verdicts;
+  send_and_collect(ingest, clicks, 1000, wire_verdicts);
+  ASSERT_EQ(wire_verdicts.size(), clicks.size());
+  const auto dups = static_cast<std::uint64_t>(
+      std::count(wire_verdicts.begin(), wire_verdicts.end(), true));
+
+  // Query from a dedicated connection — the ppcd --stats-interval pattern.
+  BlockingClient stats;
+  stats.connect("127.0.0.1", server.port());
+  stats.handshake();
+  const wire::StatsReport report = stats.request_stats();
+  EXPECT_EQ(report.clicks, clicks.size());
+  EXPECT_EQ(report.duplicates, dups);
+  EXPECT_GT(report.memory_bits, 0u);
+  EXPECT_GT(report.memory_cap_bits, 0u);
+  EXPECT_EQ(report.hot_ads, 1u);  // one ad → one pooled detector
+  // No tiering on this sink: the tier-specific fields stay zero.
+  EXPECT_EQ(report.tail_memory_bits, 0u);
+  EXPECT_EQ(report.promotions, 0u);
+  EXPECT_EQ(report.hot_target_fpr, 0.0);
+}
+
+// STATS round trip against the tiered sink: per-tier accounting arrives
+// over the wire exactly as the pool's own stats() reports it.
+TEST(ServerE2E, StatsRoundTripOnTieredSinkReportsTiers) {
+  TieredConfig tcfg;
+  tcfg.memory_cap_bits = std::size_t{1} << 27;
+  tcfg.hot_window = core::WindowSpec::sliding_count(256);
+  tcfg.tail_window_clicks = 1 << 16;
+  tcfg.epoch_clicks = 1 << 10;
+  auto pool = build_tiered_pool(tcfg);
+  TieredPoolSink sink(*pool);
+  IngestServer srv(sink, {});
+  const std::uint16_t port = srv.listen("127.0.0.1", 0);
+  std::thread loop([&srv] { srv.run(); });
+
+  BlockingClient ingest;
+  ingest.connect("127.0.0.1", port);
+  ingest.handshake();
+  // Hammer one ad hard enough to promote it; repeat ids for duplicates.
+  constexpr std::size_t kClicks = 8'192;
+  std::vector<wire::ClickRecord> clicks(kClicks);
+  for (std::size_t i = 0; i < kClicks; ++i) {
+    clicks[i] = {7, static_cast<std::uint64_t>(i / 2), i};
+  }
+  std::vector<bool> wire_verdicts;
+  send_and_collect(ingest, clicks, 1024, wire_verdicts);
+  ASSERT_EQ(wire_verdicts.size(), kClicks);
+  const auto dups = static_cast<std::uint64_t>(
+      std::count(wire_verdicts.begin(), wire_verdicts.end(), true));
+  EXPECT_GE(dups, kClicks / 2 - 1);  // every second id is a repeat
+
+  BlockingClient stats;
+  stats.connect("127.0.0.1", port);
+  stats.handshake();
+  const wire::StatsReport report = stats.request_stats();
+  EXPECT_EQ(report.clicks, kClicks);
+  EXPECT_EQ(report.duplicates, dups);
+  EXPECT_EQ(report.hot_clicks + report.tail_clicks, report.clicks);
+  EXPECT_EQ(report.hot_ads, 1u) << "ad 7 should have been promoted";
+  EXPECT_GE(report.promotions, 1u);
+  EXPECT_GT(report.hot_memory_bits, 0u);
+  EXPECT_GT(report.tail_memory_bits, 0u);
+  EXPECT_EQ(report.memory_bits,
+            report.hot_memory_bits + report.tail_memory_bits);
+  EXPECT_EQ(report.memory_cap_bits, tcfg.memory_cap_bits);
+  EXPECT_EQ(report.hot_target_fpr, tcfg.hot_fpr);
+  EXPECT_EQ(report.tail_target_fpr, tcfg.tail_fpr);
+  // The wire report agrees field-for-field with the in-process stats.
+  const adnet::TierStats direct = pool->stats();
+  EXPECT_EQ(report.clicks, direct.clicks);
+  EXPECT_EQ(report.memory_bits, direct.memory_bits);
+  EXPECT_EQ(report.promotions, direct.promotions);
+
+  srv.stop();
+  loop.join();
+  (void)srv.drain();
+}
+
 }  // namespace
 }  // namespace ppc::server

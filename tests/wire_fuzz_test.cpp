@@ -70,6 +70,24 @@ std::vector<std::vector<std::uint8_t>> corpus() {
     append_drain_ack(f, 1'000'000, 31337);
     frames.push_back(f);
   }
+  {
+    std::vector<std::uint8_t> f;
+    append_stats(f);
+    frames.push_back(f);
+  }
+  {
+    std::vector<std::uint8_t> f;
+    StatsReport report;
+    report.clicks = 1'000'000;
+    report.duplicates = 1234;
+    report.memory_bits = 1ull << 30;
+    report.memory_cap_bits = 1ull << 33;
+    report.hot_ads = 17;
+    report.hot_target_fpr = 1e-4;
+    report.tail_target_fpr = 1e-3;
+    append_stats_ack(f, report);
+    frames.push_back(f);
+  }
   return frames;
 }
 
@@ -131,6 +149,9 @@ DecodeStatus check_decode(const std::vector<std::uint8_t>& buf) {
       (void)parse_token(frame.payload, a, err);
       (void)parse_drain(frame.payload, err);
       (void)parse_drain_ack(frame.payload, a, b, err);
+      StatsReport stats;
+      (void)parse_stats(frame.payload, err);
+      (void)parse_stats_ack(frame.payload, stats, err);
       break;
     }
     case DecodeStatus::kError:
@@ -193,7 +214,8 @@ TEST(WireFuzz, OversizedLengthPrefixIsRejectedNotBuffered) {
 }
 
 TEST(WireFuzz, UnknownFrameTypeIsRejected) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{9},
+  // 11 is the first unassigned type id (10 = STATS_ACK is the last valid).
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{11},
                                   std::uint8_t{0x7f}, std::uint8_t{0xff}}) {
     std::vector<std::uint8_t> body{type, 1, 2, 3};
     std::vector<std::uint8_t> buf;
@@ -359,6 +381,49 @@ TEST(WireFuzz, ColumnarEncoderMatchesRowEncoder) {
                             ids.data(), times.data());
     EXPECT_EQ(row_frame, col_frame) << "count " << count;
   }
+}
+
+TEST(WireFuzz, StatsReportRoundTrip) {
+  StatsReport report;
+  report.clicks = 0x0102'0304'0506'0708ull;
+  report.duplicates = 42;
+  report.memory_bits = 1ull << 33;
+  report.memory_cap_bits = (1ull << 33) + 1;
+  report.hot_ads = 1000;
+  report.hot_memory_bits = 77;
+  report.hot_clicks = 88;
+  report.hot_duplicates = 99;
+  report.tail_memory_bits = 111;
+  report.tail_clicks = 222;
+  report.tail_duplicates = 333;
+  report.promotions = 444;
+  report.demotions = 555;
+  report.promotion_deferrals = 666;
+  report.hot_target_fpr = 1.25e-4;   // exact in binary: survives bit_cast
+  report.tail_target_fpr = 0.03125;
+  std::vector<std::uint8_t> buf;
+  append_stats_ack(buf, report);
+  FrameView frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode_frame(buf, frame, consumed, error), DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kStatsAck);
+  ASSERT_EQ(frame.payload.size(), kStatsReportBytes);
+  StatsReport parsed;
+  ASSERT_TRUE(parse_stats_ack(frame.payload, parsed, error));
+  EXPECT_EQ(parsed, report);
+
+  // Any payload size other than the fixed 128 bytes is rejected cleanly.
+  for (const std::size_t n : {0u, 1u, 64u, 127u, 129u, 256u}) {
+    const std::vector<std::uint8_t> bad(n, 0xcd);
+    error.clear();
+    EXPECT_FALSE(parse_stats_ack(bad, parsed, error)) << "size " << n;
+    EXPECT_FALSE(error.empty());
+  }
+  // STATS itself carries no payload; anything else is rejected.
+  EXPECT_TRUE(parse_stats({}, error));
+  const std::vector<std::uint8_t> nonempty{1};
+  EXPECT_FALSE(parse_stats(nonempty, error));
 }
 
 TEST(WireFuzz, VerdictBitmapRoundTrip) {

@@ -1,9 +1,9 @@
 // ppcd — the click-stream ingest daemon.
 //
 //   ppcd --listen=127.0.0.1:4817 --window=jumping:1048576:8 [--memory-mib=16]
-//        [--hashes=7] [--sink=pool|sharded] [--shards=8] [--owners=2]
+//        [--hashes=7] [--sink=pool|sharded|tiered] [--shards=8] [--owners=2]
 //        [--engine=auto|on|off] [--flush=16384] [--loops=N] [--sndbuf=BYTES]
-//        [--snapshot=PATH] [--restore=PATH]
+//        [--snapshot=PATH] [--restore=PATH] [--stats-interval=SECS]
 //
 // Serves the wire protocol of src/server/wire.hpp on --loops epoll threads,
 // each with its own SO_REUSEPORT listener (kernel-balanced accepts).
@@ -11,10 +11,19 @@
 // adnet::DetectorPool, creating one detector per ad on first sight;
 // --sink=sharded feeds every click into a single core::ShardedDetector
 // (use --shards/--owners/--engine=on for the lock-free owner engine, which
-// makes each epoll thread an independent lane-leasing producer). With a
-// sink that is not safe for concurrent offers (plain GBF/TBF, an
-// unsharded pool), multi-loop ingest serializes offers behind one mutex —
-// correct, but the filter stops scaling; pair --loops>1 with --shards>1.
+// makes each epoll thread an independent lane-leasing producer);
+// --sink=tiered serves an OPEN tenant population through an
+// adnet::TieredDetectorPool — dedicated right-sized detectors for the ads
+// SpaceSaving flags hot, one shared tail filter for the long tail, all
+// inside --memory-cap-mib with promotion deferral instead of length_error.
+// With a sink that is not safe for concurrent offers (plain GBF/TBF, an
+// unsharded pool, the tiered pool), multi-loop ingest serializes offers
+// behind one mutex — correct, but the filter stops scaling; pair
+// --loops>1 with --shards>1.
+// --stats-interval=SECS starts a reporter thread that queries the server
+// over its own wire connection (STATS/STATS_ACK round trip — the same
+// frames an external dashboard would use) and prints per-tier memory and
+// duplicate accounting every SECS seconds.
 // SIGINT/SIGTERM triggers a graceful drain: every loop is quiesced, each
 // loop's pending batch is flushed through the detector, every owed verdict
 // frame is pushed out with blocking writes, and an op-count summary is
@@ -31,6 +40,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -38,6 +48,7 @@
 #include <thread>
 
 #include "adnet/detector_pool.hpp"
+#include "server/client.hpp"
 #include "server/ingest_server.hpp"
 #include "server/server_config.hpp"
 
@@ -57,7 +68,23 @@ namespace {
       "  --hashes=K           hash functions (default 7)\n"
       "  --backend=B          auto|gbf|tbf|apbf (default auto = the paper's\n"
       "                       per-window choice)\n"
-      "  --sink=pool|sharded  per-ad DetectorPool or one ShardedDetector\n"
+      "  --sink=pool|sharded|tiered\n"
+      "                       pool: per-ad DetectorPool (throws at the cap)\n"
+      "                       sharded: one ShardedDetector for every ad\n"
+      "                       tiered: adaptive hot/tail TieredDetectorPool\n"
+      "                       (open admission under --memory-cap-mib)\n"
+      "  --hot-fpr=P          tiered: hot-tier FP target (default 1e-4);\n"
+      "                       hot ads get --window detectors sized to it\n"
+      "                       (tiered --window default: sliding:4096)\n"
+      "  --tail-window=N      tiered: shared tail window in GLOBAL clicks\n"
+      "                       (default 1048576)\n"
+      "  --tail-fpr=P         tiered: tail FP target (default 1e-3)\n"
+      "  --epoch=N            tiered: promotion/demotion cadence in clicks\n"
+      "                       (default 65536)\n"
+      "  --promote-share=S    tiered: epoch share that promotes (1/512)\n"
+      "  --demote-share=S     tiered: epoch share that demotes (1/4096)\n"
+      "  --stats-interval=S   print a STATS report every S seconds (via a\n"
+      "                       wire round trip, exercising the STATS frame)\n"
       "  --shards=S           shards per detector (default 1 = unsharded)\n"
       "  --owners=T           engine owner threads / fan-out lanes\n"
       "  --engine=auto|on|off lock-free owner engine for sharded detectors\n"
@@ -103,6 +130,12 @@ std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
                        const std::string& key, std::uint64_t fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : std::stoull(it->second);
+}
+
+double flag_double(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
 }
 
 server::IngestServer* g_server = nullptr;
@@ -166,6 +199,7 @@ int main(int argc, char** argv) {
     // Sink construction. Objects outlive the server; declared first.
     std::unique_ptr<core::DuplicateDetector> detector;
     std::unique_ptr<adnet::DetectorPool> pool;
+    std::unique_ptr<adnet::TieredDetectorPool> tiered;
     std::unique_ptr<server::ClickSink> sink;
     const std::string sink_kind = flag(flags, "sink", "pool");
     if (sink_kind == "sharded") {
@@ -183,6 +217,24 @@ int main(int argc, char** argv) {
       sink = std::make_unique<server::PoolSink>(*pool, nullptr,
                                                 /*concurrent_detectors=*/
                                                 cfg.shards > 1);
+    } else if (sink_kind == "tiered") {
+      server::TieredConfig tcfg;
+      tcfg.memory_cap_bits = flag_u64(flags, "memory-cap-mib", 1024) << 23;
+      // Per-hot-ad windows default small (sliding:4096) — the daemon-wide
+      // --window default of jumping:1048576:8 is a single-population
+      // setting and would make every promotion cost megabits.
+      tcfg.hot_window = flags.contains("window")
+                            ? cfg.window
+                            : core::WindowSpec::sliding_count(1 << 12);
+      tcfg.hot_fpr = flag_double(flags, "hot-fpr", 1e-4);
+      tcfg.tail_window_clicks =
+          flag_u64(flags, "tail-window", std::uint64_t{1} << 20);
+      tcfg.tail_fpr = flag_double(flags, "tail-fpr", 1e-3);
+      tcfg.epoch_clicks = flag_u64(flags, "epoch", std::uint64_t{1} << 16);
+      tcfg.promote_share = flag_double(flags, "promote-share", 1.0 / 512);
+      tcfg.demote_share = flag_double(flags, "demote-share", 1.0 / 4096);
+      tiered = server::build_tiered_pool(tcfg);
+      sink = std::make_unique<server::TieredPoolSink>(*tiered);
     } else {
       usage(argv[0]);
     }
@@ -209,8 +261,66 @@ int main(int argc, char** argv) {
                 engine.c_str(), opts.flush_clicks, opts.loops);
     std::fflush(stdout);
 
+    // Periodic stats reporter: a dedicated wire connection per sample so
+    // the STATS round trip exercises the production frame path end to end
+    // (and never races a verdict stream on an ingest connection).
+    std::atomic<bool> stats_stop{false};
+    std::thread stats_thread;
+    const std::uint64_t stats_interval = flag_u64(flags, "stats-interval", 0);
+    if (stats_interval > 0) {
+      const std::string stats_host =
+          (host == "0.0.0.0" || host.empty()) ? "127.0.0.1" : host;
+      stats_thread = std::thread([&stats_stop, stats_host, bound,
+                                  stats_interval] {
+        const auto period = std::chrono::seconds(stats_interval);
+        auto next = std::chrono::steady_clock::now() + period;
+        while (!stats_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          if (std::chrono::steady_clock::now() < next) continue;
+          next += period;
+          try {
+            server::BlockingClient client;
+            client.connect(stats_host, bound);
+            client.handshake();
+            const server::wire::StatsReport r = client.request_stats();
+            std::printf(
+                "ppcd: stats: clicks=%llu duplicates=%llu "
+                "memory_bits=%llu/%llu | hot: ads=%llu bits=%llu "
+                "clicks=%llu dup=%llu fpr_target=%g | tail: bits=%llu "
+                "clicks=%llu dup=%llu fpr_target=%g | promotions=%llu "
+                "demotions=%llu deferrals=%llu\n",
+                static_cast<unsigned long long>(r.clicks),
+                static_cast<unsigned long long>(r.duplicates),
+                static_cast<unsigned long long>(r.memory_bits),
+                static_cast<unsigned long long>(r.memory_cap_bits),
+                static_cast<unsigned long long>(r.hot_ads),
+                static_cast<unsigned long long>(r.hot_memory_bits),
+                static_cast<unsigned long long>(r.hot_clicks),
+                static_cast<unsigned long long>(r.hot_duplicates),
+                r.hot_target_fpr,
+                static_cast<unsigned long long>(r.tail_memory_bits),
+                static_cast<unsigned long long>(r.tail_clicks),
+                static_cast<unsigned long long>(r.tail_duplicates),
+                r.tail_target_fpr,
+                static_cast<unsigned long long>(r.promotions),
+                static_cast<unsigned long long>(r.demotions),
+                static_cast<unsigned long long>(r.promotion_deferrals));
+            std::fflush(stdout);
+          } catch (const std::exception& e) {
+            // Shutdown races (listener already gone) are expected; anything
+            // else is worth a line but never fatal to the daemon.
+            if (!stats_stop.load(std::memory_order_relaxed)) {
+              std::fprintf(stderr, "ppcd: stats: %s\n", e.what());
+            }
+          }
+        }
+      });
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     srv.run();
+    stats_stop.store(true, std::memory_order_relaxed);
+    if (stats_thread.joinable()) stats_thread.join();
     const auto st = srv.drain();
     if (!opts.snapshot_path.empty()) {
       std::printf("ppcd: snapshot written to %s\n", opts.snapshot_path.c_str());
