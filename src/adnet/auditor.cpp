@@ -14,6 +14,19 @@ void FraudAuditor::observe(const stream::Click& click, bool duplicate) {
   }
 }
 
+std::vector<Offender> FraudAuditor::top_offenders(std::size_t n) const {
+  std::vector<Offender> out;
+  for (const analysis::SpaceSaving::Entry& e : offenders_.top(n)) {
+    Offender o;
+    o.source_ip = static_cast<std::uint32_t>(e.key);
+    o.count = e.count;
+    o.error = e.error;
+    o.flagged = o.guaranteed() >= opts_.min_offender_duplicates;
+    out.push_back(o);
+  }
+  return out;
+}
+
 std::vector<PublisherRisk> FraudAuditor::report() const {
   std::vector<PublisherRisk> out;
   out.reserve(per_publisher_.size());

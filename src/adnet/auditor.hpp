@@ -37,6 +37,22 @@ struct FraudAuditorOptions {
   std::uint64_t min_clicks = 100;
   /// Space-Saving counters used to track the top duplicate sources.
   std::size_t offender_capacity = 1024;
+  /// A source is flagged once its GUARANTEED duplicate count (count minus
+  /// Space-Saving error — a lower bound, never an estimate) reaches this.
+  std::uint64_t min_offender_duplicates = 32;
+};
+
+/// One heavy-duplicate source as seen through the Space-Saving summary.
+/// `count` is an upper bound on the source's duplicates, `count - error`
+/// a guaranteed lower bound; blocking decisions must key off the lower
+/// bound or summary noise can flag an innocent source.
+struct Offender {
+  std::uint32_t source_ip = 0;
+  std::uint64_t count = 0;  ///< upper bound
+  std::uint64_t error = 0;  ///< max overcount absorbed on admission
+  bool flagged = false;     ///< guaranteed() >= min_offender_duplicates
+
+  std::uint64_t guaranteed() const noexcept { return count - error; }
 };
 
 class FraudAuditor {
@@ -52,13 +68,12 @@ class FraudAuditor {
   /// Per-publisher risk, sorted by duplicate rate descending.
   std::vector<PublisherRisk> report() const;
 
-  /// The source IPs behind the most duplicate verdicts (Space-Saving top-k:
-  /// counts are upper bounds, count-error lower bounds — see
-  /// analysis/heavy_hitters.hpp). These are the bot addresses to block.
-  std::vector<analysis::SpaceSaving::Entry> top_offenders(
-      std::size_t n) const {
-    return offenders_.top(n);
-  }
+  /// The source IPs behind the most duplicate verdicts. Each entry carries
+  /// the Space-Saving upper bound AND the guaranteed `count - error` lower
+  /// bound; `flagged` is decided on the lower bound, so a flagged offender
+  /// provably produced at least min_offender_duplicates duplicates — these
+  /// are the bot addresses safe to hand to enforcement.
+  std::vector<Offender> top_offenders(std::size_t n) const;
 
   std::uint64_t observed() const noexcept { return observed_; }
 

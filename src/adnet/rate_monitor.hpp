@@ -47,9 +47,13 @@ class DuplicateRateMonitor {
       throw std::invalid_argument(
           "DuplicateRateMonitor: need 0 < slow_alpha < fast_alpha <= 1");
     }
-    if (opts.clear_ratio > opts.trigger_ratio) {
+    if (opts.clear_ratio >= opts.trigger_ratio) {
+      // Strictly less: clear_ratio == trigger_ratio leaves no hysteresis
+      // band, so a rate hovering at the threshold chatters alarm/clear on
+      // every observation.
       throw std::invalid_argument(
-          "DuplicateRateMonitor: clear_ratio must not exceed trigger_ratio");
+          "DuplicateRateMonitor: clear_ratio must be strictly below "
+          "trigger_ratio (equality removes the hysteresis band)");
     }
   }
 

@@ -101,6 +101,8 @@ inline constexpr std::uint64_t kServerSnapshotMagic =
 inline constexpr std::uint64_t kApbfMagic = 0x50504341'50424631ULL;  // "PPCAPBF1"
 inline constexpr std::uint64_t kTieredPoolMagic =
     0x50504354'49455231ULL;  // "PPCTIER1"
+inline constexpr std::uint64_t kEnforceMagic =
+    0x50504345'4E463031ULL;  // "PPCENF01"
 
 inline constexpr std::uint64_t kSnapshotFormatVersion = 1;
 

@@ -1,0 +1,111 @@
+#include "enforce/blocklist_export.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <stdexcept>
+
+#include "stream/click.hpp"
+
+namespace ppc::enforce {
+
+namespace {
+
+/// Round-trip double rendering (%.17g): two ledgers with bit-identical
+/// state always produce byte-identical text.
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string export_csv(const ReputationLedger& ledger) {
+  std::string out =
+      "ip,publisher,tier,clicks,duplicates,rate,score,blocked_until_us\n";
+  for (const ReputationLedger::Record& r : ledger.records()) {
+    if (r.tier < Tier::kFlagged) continue;
+    out += stream::format_ip(r.source_ip);
+    out += ',';
+    append_u64(out, r.publisher_id);
+    out += ',';
+    out += tier_name(r.tier);
+    out += ',';
+    append_u64(out, r.clicks);
+    out += ',';
+    append_u64(out, r.duplicates);
+    out += ',';
+    append_double(out, r.rate);
+    out += ',';
+    append_double(out, r.score);
+    out += ',';
+    append_u64(out, r.blocked_until_us);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string export_nftables(const ReputationLedger& ledger,
+                            const std::string& table,
+                            const std::string& set_name) {
+  // `nft -f` loadable: a named ipv4_addr set inside an inet table, the
+  // elements the currently blocked sources. records() is key-sorted, so
+  // the element order is deterministic.
+  std::string out = "table inet " + table + " {\n";
+  out += "  set " + set_name + " {\n";
+  out += "    type ipv4_addr\n";
+  std::string elements;
+  for (const ReputationLedger::Record& r : ledger.records()) {
+    if (r.tier != Tier::kBlocked) continue;
+    if (!elements.empty()) elements += ",\n";
+    elements += "      " + stream::format_ip(r.source_ip);
+  }
+  if (!elements.empty()) {
+    out += "    elements = {\n" + elements + "\n    }\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string format_transition(const TierTransition& t) {
+  std::string line = "at_us=";
+  append_u64(line, t.at_us);
+  line += " ip=" + stream::format_ip(t.source_ip);
+  line += " publisher=";
+  append_u64(line, t.publisher_id);
+  line += std::string(" from=") + tier_name(t.from);
+  line += std::string(" to=") + tier_name(t.to);
+  line += " duplicates=";
+  append_u64(line, t.duplicates);
+  line += " score=";
+  append_double(line, t.score);
+  return line;
+}
+
+DecisionJournal::DecisionJournal(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw std::runtime_error("DecisionJournal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+DecisionJournal::~DecisionJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DecisionJournal::append(const TierTransition& t) {
+  const std::string line = format_transition(t) + "\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+}  // namespace ppc::enforce

@@ -1,0 +1,58 @@
+// Blocklist export and the append-only decision journal.
+//
+// The ledger's actionable state leaves the process in three shapes:
+//  * CSV (`export_csv`) — every record at kFlagged or above, sorted by
+//    key, doubles rendered with round-trip precision — the analyst feed.
+//  * nftables set text (`export_nftables`) — the kBlocked source IPs as an
+//    `nft -f`-loadable ipv4_addr set, so an operator can push the block
+//    decision into the kernel packet filter.
+//  * the decision journal (`DecisionJournal`) — one line per tier
+//    transition, appended and flushed as it happens, so post-incident
+//    review can replay every promotion, demotion, and block expiry.
+//
+// Both text exports are deterministic functions of the ledger state:
+// export(ledger) == export(restore(save(ledger))) bit-for-bit, which is
+// how the snapshot round-trip is proven in enforce_test.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "enforce/reputation_ledger.hpp"
+
+namespace ppc::enforce {
+
+/// CSV of every record at kFlagged or above, key-sorted, with header.
+std::string export_csv(const ReputationLedger& ledger);
+
+/// nftables set definition holding the currently blocked source IPs.
+std::string export_nftables(const ReputationLedger& ledger,
+                            const std::string& table = "ppc",
+                            const std::string& set_name = "ppc_blocklist");
+
+/// Append-only journal of tier transitions. Wire it to the ledger with
+/// set_transition_callback; each append is written and flushed immediately
+/// (the journal must survive the process dying mid-attack).
+class DecisionJournal {
+ public:
+  /// Opens `path` for appending; throws std::runtime_error on failure.
+  explicit DecisionJournal(const std::string& path);
+  ~DecisionJournal();
+
+  DecisionJournal(const DecisionJournal&) = delete;
+  DecisionJournal& operator=(const DecisionJournal&) = delete;
+
+  void append(const TierTransition& t);
+
+  std::uint64_t lines() const noexcept { return lines_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t lines_ = 0;
+};
+
+/// One journal/CSV-style rendering of a transition (shared by the journal
+/// and tests asserting its content).
+std::string format_transition(const TierTransition& t);
+
+}  // namespace ppc::enforce

@@ -116,6 +116,26 @@ class BlockingClient {
     send_raw(scratch_);
   }
 
+  /// v2 batch carrying source IPs — only legal after
+  /// handshake(wire::kProtocolVersionV2).
+  void send_click_batch_v2(std::uint64_t seq,
+                           std::span<const wire::ClickRecordV2> clicks) {
+    scratch_.clear();
+    wire::append_click_batch_v2(scratch_, seq, clicks);
+    send_raw(scratch_);
+  }
+
+  void send_click_batch_v2_cols(std::uint64_t seq, std::uint32_t count,
+                                const std::uint32_t* ads,
+                                const std::uint64_t* ids,
+                                const std::uint64_t* times,
+                                const std::uint32_t* sources) {
+    scratch_.clear();
+    wire::append_click_batch_v2_cols(scratch_, seq, count, ads, ids, times,
+                                     sources);
+    send_raw(scratch_);
+  }
+
   void send_ping(std::uint64_t token) {
     scratch_.clear();
     wire::append_ping(scratch_, token);

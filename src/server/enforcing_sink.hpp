@@ -1,0 +1,167 @@
+// EnforcingSink: the wire-level enforcement decorator.
+//
+// Sits between the IngestServer and any inner ClickSink. For every click
+// carrying a source IP (CLICK_BATCH_V2 traffic) it consults the
+// enforce::ReputationLedger FIRST: clicks from a currently-blocked source
+// are rejected at the wire — their verdict comes back true ("don't pay")
+// without the click ever reaching the inner detector, so a blocked
+// attacker cannot even pollute detector state. Surviving clicks are
+// compacted, offered to the inner sink, and the inner verdicts both
+// scatter back into the reply AND feed the ledger (observe), closing the
+// detect → score → enforce loop online.
+//
+// v1 traffic (source_ip == 0) bypasses the ledger entirely: aggregating
+// every legacy client into one blockable pseudo-source would let a single
+// attacker block ALL v1 traffic, so enforcement applies only to clicks
+// that actually carry attribution.
+//
+// Snapshots compose: save_state writes the inner sink's state followed by
+// the ledger's own versioned CRC section (PPCENF01), so a drain snapshot
+// restores detectors AND reputations together. stats_report merges the
+// inner report with the ledger counters (enforce_* fields).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "enforce/reputation_ledger.hpp"
+#include "server/ingest_server.hpp"
+
+namespace ppc::server {
+
+class EnforcingSink final : public ClickSink {
+ public:
+  EnforcingSink(ClickSink& inner, enforce::ReputationLedger& ledger)
+      : inner_(inner), ledger_(ledger) {}
+
+  void offer(std::span<const std::uint32_t> ad_ids,
+             std::span<const core::ClickId> ids,
+             std::span<const std::uint64_t> times,
+             std::span<bool> out) override {
+    // No source column (pure v1 batch): enforcement has nothing to key on.
+    inner_.offer(ad_ids, ids, times, out);
+  }
+
+  void offer_with_sources(std::span<const std::uint32_t> ad_ids,
+                          std::span<const core::ClickId> ids,
+                          std::span<const std::uint64_t> times,
+                          std::span<const std::uint32_t> sources,
+                          std::span<bool> out) override {
+    const std::size_t n = ids.size();
+    // Pass 1: reject clicks from blocked sources up front. decide() is the
+    // non-const lookup — it applies any due block expiry / score demotion,
+    // so a source whose block TTL lapsed flows through again.
+    fwd_idx_.clear();
+    bool any_rejected = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sources[i] != 0 &&
+          ledger_.decide(sources[i], publisher_of(ad_ids[i]), times[i]) ==
+              enforce::Tier::kBlocked) {
+        out[i] = true;  // rejected at the wire — "don't pay"
+        ++rejected_;
+        any_rejected = true;
+      } else {
+        out[i] = false;
+        fwd_idx_.push_back(i);
+      }
+    }
+
+    if (!any_rejected) {
+      // Common case: nothing blocked, offer the batch through unchanged.
+      inner_.offer_with_sources(ad_ids, ids, times, sources, out);
+    } else {
+      // Compact survivors, offer, scatter verdicts back.
+      const std::size_t m = fwd_idx_.size();
+      fwd_ads_.resize(m);
+      fwd_ids_.resize(m);
+      fwd_times_.resize(m);
+      fwd_sources_.resize(m);
+      if (fwd_out_cap_ < m) {
+        fwd_out_ = std::make_unique<bool[]>(m);
+        fwd_out_cap_ = m;
+      }
+      std::fill_n(fwd_out_.get(), m, false);
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t i = fwd_idx_[j];
+        fwd_ads_[j] = ad_ids[i];
+        fwd_ids_[j] = ids[i];
+        fwd_times_[j] = times[i];
+        fwd_sources_[j] = sources[i];
+      }
+      inner_.offer_with_sources(fwd_ads_, fwd_ids_, fwd_times_, fwd_sources_,
+                                {fwd_out_.get(), m});
+      for (std::size_t j = 0; j < m; ++j) out[fwd_idx_[j]] = fwd_out_[j];
+    }
+
+    // Pass 2: the inner verdicts feed the ledger — a duplicate raises the
+    // source's score, a clean click lets its rate decay. Rejected clicks
+    // were already counted by decide(); observing them too would let a
+    // block extend itself forever off its own rejections.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sources[i] == 0) continue;
+      if (out[i] && !fwd_contains(i)) continue;  // rejected, not a verdict
+      ledger_.observe(sources[i], publisher_of(ad_ids[i]), out[i], times[i]);
+    }
+  }
+
+  std::string describe() const override {
+    return "enforce(" + inner_.describe() + ")";
+  }
+  /// The ledger and the scatter scratch are unsynchronized state.
+  bool concurrent() const override { return false; }
+  bool supports_snapshots() const noexcept override {
+    return inner_.supports_snapshots();
+  }
+  void save_state(std::ostream& out) const override {
+    inner_.save_state(out);
+    ledger_.save(out);
+  }
+  void restore_state(std::istream& in) override {
+    inner_.restore_state(in);
+    ledger_.restore(in);
+  }
+  wire::StatsReport stats_report() const override {
+    wire::StatsReport r = inner_.stats_report();
+    const enforce::ReputationLedger::Stats s = ledger_.stats();
+    r.enforce_sources = s.sources;
+    r.enforce_flagged = s.flagged;
+    r.enforce_discounted = s.discounted;
+    r.enforce_blocked = s.blocked;
+    r.enforce_rejected = rejected_;
+    return r;
+  }
+
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  enforce::ReputationLedger& ledger() noexcept { return ledger_; }
+
+ private:
+  std::uint32_t publisher_of(std::uint32_t ad_id) const noexcept {
+    // Publisher attribution is not on the wire yet; a publisher-keyed
+    // ledger folds in the ad id as its best proxy.
+    return ledger_.policy().key_by_publisher ? ad_id : 0;
+  }
+  // fwd_idx_ is sorted ascending by construction; rejected positions are
+  // exactly the gaps.
+  bool fwd_contains(std::size_t i) const noexcept {
+    return std::binary_search(fwd_idx_.begin(), fwd_idx_.end(), i);
+  }
+
+  ClickSink& inner_;
+  enforce::ReputationLedger& ledger_;
+  std::uint64_t rejected_ = 0;
+
+  std::vector<std::size_t> fwd_idx_;
+  std::vector<std::uint32_t> fwd_ads_;
+  std::vector<core::ClickId> fwd_ids_;
+  std::vector<std::uint64_t> fwd_times_;
+  std::vector<std::uint32_t> fwd_sources_;
+  // std::vector<bool> is a bitset and cannot view as std::span<bool>.
+  std::unique_ptr<bool[]> fwd_out_;
+  std::size_t fwd_out_cap_ = 0;
+};
+
+}  // namespace ppc::server

@@ -87,6 +87,8 @@ class Connection {
   std::uint64_t clicks = 0;
   std::uint64_t duplicates = 0;
   bool hello_done = false;
+  /// Protocol version negotiated in HELLO; v2 unlocks CLICK_BATCH_V2.
+  std::uint32_t wire_version = 0;
 
  private:
   friend class EventLoop;

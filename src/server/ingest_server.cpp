@@ -54,6 +54,7 @@ class IngestServer::LoopWorker final : public ConnectionHandler {
     std::size_t rbuf_offset;
     std::size_t flat_offset;  ///< assigned during flush pass 1
     bool drain_ack;
+    bool v2;  ///< records are 24-byte ClickRecordV2 (carry source IPs)
   };
 
   /// One encoded reply frame in arena_, owed to conn_id. Offsets, not
@@ -81,6 +82,7 @@ class IngestServer::LoopWorker final : public ConnectionHandler {
   std::vector<std::uint32_t> ads_;
   std::vector<core::ClickId> ids_;
   std::vector<std::uint64_t> times_;
+  std::vector<std::uint32_t> sources_;  ///< 0 for v1 spans
   std::vector<char> verdicts_;            ///< bool-compatible storage
   std::vector<std::uint8_t> arena_;       ///< encoded reply frames
   std::vector<Segment> segments_;
@@ -125,7 +127,8 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
     case wire::FrameType::kHello: {
       std::uint32_t version = 0;
       if (!wire::parse_version(frame.payload, version, why)) return false;
-      if (version != wire::kProtocolVersion) {
+      if (version != wire::kProtocolVersion &&
+          version != wire::kProtocolVersionV2) {
         why = "unsupported protocol version " + std::to_string(version);
         return false;
       }
@@ -134,8 +137,11 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
         return false;
       }
       conn.hello_done = true;
+      conn.wire_version = version;
       reply_scratch_.clear();
-      wire::append_hello_ack(reply_scratch_, wire::kProtocolVersion, loop_id_);
+      // Echo the offered version: a v1 client keeps the v1 contract, a v2
+      // client unlocks CLICK_BATCH_V2 on this connection.
+      wire::append_hello_ack(reply_scratch_, version, loop_id_);
       conn.send(reply_scratch_);
       return true;
     }
@@ -158,7 +164,29 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
       pending_replies_.push_back(
           {conn.id(), batch.seq, batch.count,
            static_cast<std::size_t>(batch.records - conn.buffer_base()),
-           /*flat_offset=*/0, /*drain_ack=*/false});
+           /*flat_offset=*/0, /*drain_ack=*/false, /*v2=*/false});
+      return true;
+    }
+    case wire::FrameType::kClickBatchV2: {
+      if (conn.wire_version < wire::kProtocolVersionV2) {
+        why = "CLICK_BATCH_V2 on a version-1 connection";
+        return false;
+      }
+      wire::ClickBatchV2View batch;
+      if (!wire::parse_click_batch_v2(frame.payload, batch, why)) return false;
+      srv_.click_frames_.fetch_add(1, std::memory_order_relaxed);
+      if (batch.count > 0) {
+        if (std::find(held_conns_.begin(), held_conns_.end(), conn.id()) ==
+            held_conns_.end()) {
+          conn.hold_read_buffer();
+          held_conns_.push_back(conn.id());
+        }
+        pending_clicks_ += batch.count;
+      }
+      pending_replies_.push_back(
+          {conn.id(), batch.seq, batch.count,
+           static_cast<std::size_t>(batch.records - conn.buffer_base()),
+           /*flat_offset=*/0, /*drain_ack=*/false, /*v2=*/true});
       return true;
     }
     case wire::FrameType::kPing: {
@@ -179,7 +207,8 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
       // this frame is consumed (flush_requested_), not here — flushing
       // mid-frame would release buffers the caller's consume() accounting
       // still depends on.
-      pending_replies_.push_back({conn.id(), 0, 0, 0, 0, /*drain_ack=*/true});
+      pending_replies_.push_back(
+          {conn.id(), 0, 0, 0, 0, /*drain_ack=*/true, /*v2=*/false});
       flush_requested_ = true;
       return true;
     }
@@ -233,6 +262,7 @@ void IngestServer::LoopWorker::flush_pending() {
     ads_.resize(total);
     ids_.resize(total);
     times_.resize(total);
+    sources_.resize(total);
   }
   if (verdicts_.size() < total) verdicts_.resize(total);
 
@@ -251,9 +281,18 @@ void IngestServer::LoopWorker::flush_pending() {
       r.count = 0;
       continue;
     }
-    wire::deinterleave_clicks(conn->buffer_base() + r.rbuf_offset, r.count,
-                              ads_.data() + n, ids_.data() + n,
-                              times_.data() + n);
+    if (r.v2) {
+      wire::deinterleave_clicks_v2(conn->buffer_base() + r.rbuf_offset,
+                                   r.count, ads_.data() + n, ids_.data() + n,
+                                   times_.data() + n, sources_.data() + n);
+    } else {
+      wire::deinterleave_clicks(conn->buffer_base() + r.rbuf_offset, r.count,
+                                ads_.data() + n, ids_.data() + n,
+                                times_.data() + n);
+      // v1 records carry no attribution; 0 is the "no source" sentinel an
+      // enforcement sink must pass through unexamined.
+      std::fill_n(sources_.data() + n, r.count, std::uint32_t{0});
+    }
     n += r.count;
   }
 
@@ -261,7 +300,7 @@ void IngestServer::LoopWorker::flush_pending() {
     std::fill_n(verdicts_.data(), n, char{0});
     const std::span<bool> out(reinterpret_cast<bool*>(verdicts_.data()), n);
     srv_.offer_to_sink({ads_.data(), n}, {ids_.data(), n}, {times_.data(), n},
-                       out);
+                       {sources_.data(), n}, out);
     srv_.flushes_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -407,6 +446,19 @@ void IngestServer::offer_to_sink(std::span<const std::uint32_t> ad_ids,
     sink_.offer(ad_ids, ids, times, out);
   } else {
     sink_.offer(ad_ids, ids, times, out);
+  }
+}
+
+void IngestServer::offer_to_sink(std::span<const std::uint32_t> ad_ids,
+                                 std::span<const core::ClickId> ids,
+                                 std::span<const std::uint64_t> times,
+                                 std::span<const std::uint32_t> sources,
+                                 std::span<bool> out) {
+  if (serialize_offers_) {
+    const std::lock_guard<std::mutex> g(sink_mu_);
+    sink_.offer_with_sources(ad_ids, ids, times, sources, out);
+  } else {
+    sink_.offer_with_sources(ad_ids, ids, times, sources, out);
   }
 }
 

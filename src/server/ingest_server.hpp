@@ -65,6 +65,20 @@ class ClickSink {
                      std::span<const core::ClickId> ids,
                      std::span<const std::uint64_t> times,
                      std::span<bool> out) = 0;
+
+  /// Source-aware variant fed by CLICK_BATCH_V2 frames: `sources[i]` is the
+  /// click's origin IPv4 address, 0 when the client did not send one (every
+  /// v1 frame). The default drops the column — only enforcement-aware sinks
+  /// care. `out[i]` true means duplicate OR rejected by enforcement; the
+  /// wire does not distinguish (both are "don't pay for this click").
+  virtual void offer_with_sources(std::span<const std::uint32_t> ad_ids,
+                                  std::span<const core::ClickId> ids,
+                                  std::span<const std::uint64_t> times,
+                                  std::span<const std::uint32_t> /*sources*/,
+                                  std::span<bool> out) {
+    offer(ad_ids, ids, times, out);
+  }
+
   virtual std::string describe() const = 0;
 
   /// Whether offer() tolerates concurrent callers (thread-safe detectors
@@ -322,6 +336,11 @@ class IngestServer final {
   void offer_to_sink(std::span<const std::uint32_t> ad_ids,
                      std::span<const core::ClickId> ids,
                      std::span<const std::uint64_t> times,
+                     std::span<bool> out);
+  void offer_to_sink(std::span<const std::uint32_t> ad_ids,
+                     std::span<const core::ClickId> ids,
+                     std::span<const std::uint64_t> times,
+                     std::span<const std::uint32_t> sources,
                      std::span<bool> out);
 
   ClickSink& sink_;

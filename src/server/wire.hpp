@@ -13,6 +13,8 @@
 // Per-type payloads:
 //
 //   HELLO         u32 protocol_version            client -> server, first
+//                                                 (1 = classic, 2 adds the
+//                                                 CLICK_BATCH_V2 frame)
 //   HELLO_ACK     u32 protocol_version,           server -> client; loop_id
 //                 [u32 loop_id]                   is the event loop that
 //                                                 accepted the connection
@@ -22,14 +24,22 @@
 //                 count x { u32 ad_id, u64 click_id, u64 t_us }  (20 B each)
 //   VERDICT_BATCH u64 seq, u32 count,             server -> client; bit i
 //                 ceil(count/8) bitmap bytes      (LSB-first) = duplicate
+//                                                 OR rejected-by-blocklist
 //   PING          u64 token                       either direction
 //   PONG          u64 token                       echo of PING
 //   DRAIN         (empty)                         client -> server: flush
 //   DRAIN_ACK     u64 clicks, u64 duplicates      connection totals
 //   STATS         (empty)                         client -> server: report
-//   STATS_ACK     16 x u64 (see StatsReport)      server-wide sink stats;
-//                                                 per-tier fields are zero
-//                                                 for untiered sinks
+//   STATS_ACK     21 x u64 (see StatsReport)      server-wide sink stats;
+//                                                 per-tier/enforcement
+//                                                 fields are zero for
+//                                                 untiered/unenforced
+//                                                 sinks; the legacy 16-u64
+//                                                 form still parses
+//   CLICK_BATCH_V2 u64 seq, u32 count,            client -> server, only
+//                 count x { u32 ad_id,            after a version-2 HELLO;
+//                 u64 click_id, u64 t_us,         carries the source IP
+//                 u32 source_ip }  (24 B each)    for wire enforcement
 //
 // Decoding discipline (shared with core/snapshot_io.hpp): every length and
 // count decoded from the wire is validated against a hard cap AND against
@@ -51,6 +61,9 @@
 namespace ppc::server::wire {
 
 inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Version 2 adds CLICK_BATCH_V2 (per-click source IP). Servers accept
+/// both; a v2 frame on a version-1 connection is a protocol error.
+inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 
 /// Hard cap on one frame's body. A CLICK_BATCH of the largest permitted
 /// click count fits with room to spare; anything larger is malformed by
@@ -77,6 +90,18 @@ struct ClickRecord {
 };
 inline constexpr std::size_t kClickRecordBytes = 20;
 
+/// One click on the version-2 wire: 24 bytes, adds the source IP the
+/// enforcement layer keys reputations by (see CLICK_BATCH_V2 above).
+struct ClickRecordV2 {
+  std::uint32_t ad_id = 0;
+  std::uint64_t click_id = 0;
+  std::uint64_t t_us = 0;
+  std::uint32_t source_ip = 0;
+
+  friend bool operator==(const ClickRecordV2&, const ClickRecordV2&) = default;
+};
+inline constexpr std::size_t kClickRecordV2Bytes = 24;
+
 enum class FrameType : std::uint8_t {
   kHello = 1,
   kHelloAck = 2,
@@ -88,6 +113,7 @@ enum class FrameType : std::uint8_t {
   kDrainAck = 8,
   kStats = 9,
   kStatsAck = 10,
+  kClickBatchV2 = 11,
 };
 
 inline const char* frame_type_name(FrameType t) {
@@ -102,6 +128,7 @@ inline const char* frame_type_name(FrameType t) {
     case FrameType::kDrainAck: return "DRAIN_ACK";
     case FrameType::kStats: return "STATS";
     case FrameType::kStatsAck: return "STATS_ACK";
+    case FrameType::kClickBatchV2: return "CLICK_BATCH_V2";
   }
   return "UNKNOWN";
 }
@@ -338,6 +365,49 @@ inline void append_click_batch_cols(std::vector<std::uint8_t>& out,
   detail::seal_frame(out, payload_len);
 }
 
+inline void append_click_batch_v2(std::vector<std::uint8_t>& out,
+                                  std::uint64_t seq,
+                                  std::span<const ClickRecordV2> clicks) {
+  const std::size_t payload_len = 12 + clicks.size() * kClickRecordV2Bytes;
+  std::uint8_t* p = detail::open_frame(out, FrameType::kClickBatchV2,
+                                       payload_len);
+  set_u64(p, seq);
+  set_u32(p + 8, static_cast<std::uint32_t>(clicks.size()));
+  p += 12;
+  for (const ClickRecordV2& c : clicks) {
+    set_u32(p, c.ad_id);
+    set_u64(p + 4, c.click_id);
+    set_u64(p + 12, c.t_us);
+    set_u32(p + 20, c.source_ip);
+    p += kClickRecordV2Bytes;
+  }
+  detail::seal_frame(out, payload_len);
+}
+
+/// Columnar variant of the v2 batch (same frame bytes).
+inline void append_click_batch_v2_cols(std::vector<std::uint8_t>& out,
+                                       std::uint64_t seq, std::uint32_t count,
+                                       const std::uint32_t* ads,
+                                       const std::uint64_t* ids,
+                                       const std::uint64_t* times,
+                                       const std::uint32_t* sources) {
+  const std::size_t payload_len =
+      12 + static_cast<std::size_t>(count) * kClickRecordV2Bytes;
+  std::uint8_t* p = detail::open_frame(out, FrameType::kClickBatchV2,
+                                       payload_len);
+  set_u64(p, seq);
+  set_u32(p + 8, count);
+  p += 12;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    set_u32(p, ads[i]);
+    set_u64(p + 4, ids[i]);
+    set_u64(p + 12, times[i]);
+    set_u32(p + 20, sources[i]);
+    p += kClickRecordV2Bytes;
+  }
+  detail::seal_frame(out, payload_len);
+}
+
 /// `duplicate[i] != 0` sets bit i of the verdict bitmap (LSB-first).
 inline void append_verdict_batch(std::vector<std::uint8_t>& out,
                                  std::uint64_t seq,
@@ -385,12 +455,15 @@ inline void append_drain_ack(std::vector<std::uint8_t>& out,
   detail::seal_frame(out, 16);
 }
 
-/// STATS_ACK payload: the serving sink's operational accounting, fixed
-/// sixteen u64 little-endian fields in declaration order (FP targets are
-/// IEEE-754 doubles carried via bit_cast). Untiered sinks fill the totals
-/// and memory fields and leave the per-tier fields zero; tiered sinks
-/// mirror adnet::TierStats, so an operator dashboard can watch memory and
-/// FPR budgets per tier without touching the click path.
+/// STATS_ACK payload: the serving sink's operational accounting, u64
+/// little-endian fields in declaration order (FP targets are IEEE-754
+/// doubles carried via bit_cast). Untiered sinks fill the totals and
+/// memory fields and leave the per-tier fields zero; tiered sinks mirror
+/// adnet::TierStats, so an operator dashboard can watch memory and FPR
+/// budgets per tier without touching the click path. The enforcement
+/// fields extend the payload from the legacy 16 u64s to 21 — encoders
+/// emit the extended form, the parser accepts both sizes (the HELLO_ACK
+/// evolution idiom), so a pre-enforcement peer keeps working.
 struct StatsReport {
   std::uint64_t clicks = 0;
   std::uint64_t duplicates = 0;
@@ -408,10 +481,18 @@ struct StatsReport {
   std::uint64_t promotion_deferrals = 0;
   double hot_target_fpr = 0.0;
   double tail_target_fpr = 0.0;
+  /// Enforcement (EnforcingSink) accounting; zero without --enforce.
+  std::uint64_t enforce_sources = 0;
+  std::uint64_t enforce_flagged = 0;
+  std::uint64_t enforce_discounted = 0;
+  std::uint64_t enforce_blocked = 0;
+  std::uint64_t enforce_rejected = 0;  ///< clicks rejected at the wire
 
   friend bool operator==(const StatsReport&, const StatsReport&) = default;
 };
-inline constexpr std::size_t kStatsReportBytes = 16 * 8;
+/// Legacy (pre-enforcement) STATS_ACK size; still accepted on parse.
+inline constexpr std::size_t kStatsReportLegacyBytes = 16 * 8;
+inline constexpr std::size_t kStatsReportBytes = 21 * 8;
 
 inline void append_stats(std::vector<std::uint8_t>& out) {
   detail::open_frame(out, FrameType::kStats, 0);
@@ -438,6 +519,11 @@ inline void append_stats_ack(std::vector<std::uint8_t>& out,
   set_u64(p + 104, report.promotion_deferrals);
   set_u64(p + 112, std::bit_cast<std::uint64_t>(report.hot_target_fpr));
   set_u64(p + 120, std::bit_cast<std::uint64_t>(report.tail_target_fpr));
+  set_u64(p + 128, report.enforce_sources);
+  set_u64(p + 136, report.enforce_flagged);
+  set_u64(p + 144, report.enforce_discounted);
+  set_u64(p + 152, report.enforce_blocked);
+  set_u64(p + 160, report.enforce_rejected);
   detail::seal_frame(out, kStatsReportBytes);
 }
 
@@ -486,7 +572,7 @@ inline DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
   }
   const std::uint8_t type = body[0];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kStatsAck)) {
+      type > static_cast<std::uint8_t>(FrameType::kClickBatchV2)) {
     error = "unknown frame type " + std::to_string(type);
     return DecodeStatus::kError;
   }
@@ -578,6 +664,59 @@ inline bool parse_click_batch(std::span<const std::uint8_t> payload,
   return true;
 }
 
+/// Zero-copy view of a CLICK_BATCH_V2 payload (same lifetime rules as
+/// ClickBatchView).
+struct ClickBatchV2View {
+  std::uint64_t seq = 0;
+  std::uint32_t count = 0;
+  const std::uint8_t* records = nullptr;
+
+  ClickRecordV2 record(std::size_t i) const {
+    const std::uint8_t* p = records + i * kClickRecordV2Bytes;
+    return {get_u32(p), get_u64(p + 4), get_u64(p + 12), get_u32(p + 20)};
+  }
+};
+
+/// Splits `count` v2 wire records (24 bytes each, validated by
+/// parse_click_batch_v2) into four flat columns.
+inline void deinterleave_clicks_v2(const std::uint8_t* records,
+                                   std::uint32_t count, std::uint32_t* ads,
+                                   std::uint64_t* ids, std::uint64_t* times,
+                                   std::uint32_t* sources) {
+  const std::uint8_t* p = records;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ads[i] = get_u32(p);
+    ids[i] = get_u64(p + 4);
+    times[i] = get_u64(p + 12);
+    sources[i] = get_u32(p + 20);
+    p += kClickRecordV2Bytes;
+  }
+}
+
+inline bool parse_click_batch_v2(std::span<const std::uint8_t> payload,
+                                 ClickBatchV2View& view, std::string& error) {
+  if (payload.size() < 12) {
+    error = "CLICK_BATCH_V2 payload shorter than its header";
+    return false;
+  }
+  view.seq = get_u64(payload.data());
+  view.count = get_u32(payload.data() + 8);
+  if (view.count > kMaxClicksPerBatch) {
+    error = "CLICK_BATCH_V2 count " + std::to_string(view.count) +
+            " exceeds cap " + std::to_string(kMaxClicksPerBatch);
+    return false;
+  }
+  const std::size_t expected =
+      12 + static_cast<std::size_t>(view.count) * kClickRecordV2Bytes;
+  if (payload.size() != expected) {
+    error = "CLICK_BATCH_V2 count " + std::to_string(view.count) +
+            " disagrees with payload size " + std::to_string(payload.size());
+    return false;
+  }
+  view.records = payload.data() + 12;
+  return true;
+}
+
 /// Zero-copy view of a VERDICT_BATCH payload (same lifetime rules).
 struct VerdictBatchView {
   std::uint64_t seq = 0;
@@ -658,9 +797,11 @@ inline bool parse_stats(std::span<const std::uint8_t> payload,
 
 inline bool parse_stats_ack(std::span<const std::uint8_t> payload,
                             StatsReport& report, std::string& error) {
-  if (payload.size() != kStatsReportBytes) {
+  if (payload.size() != kStatsReportBytes &&
+      payload.size() != kStatsReportLegacyBytes) {
     error = "STATS_ACK payload must be " + std::to_string(kStatsReportBytes) +
-            " bytes, got " + std::to_string(payload.size());
+            " or " + std::to_string(kStatsReportLegacyBytes) + " bytes, got " +
+            std::to_string(payload.size());
     return false;
   }
   const std::uint8_t* p = payload.data();
@@ -680,6 +821,20 @@ inline bool parse_stats_ack(std::span<const std::uint8_t> payload,
   report.promotion_deferrals = get_u64(p + 104);
   report.hot_target_fpr = std::bit_cast<double>(get_u64(p + 112));
   report.tail_target_fpr = std::bit_cast<double>(get_u64(p + 120));
+  if (payload.size() == kStatsReportBytes) {
+    report.enforce_sources = get_u64(p + 128);
+    report.enforce_flagged = get_u64(p + 136);
+    report.enforce_discounted = get_u64(p + 144);
+    report.enforce_blocked = get_u64(p + 152);
+    report.enforce_rejected = get_u64(p + 160);
+  } else {
+    // Legacy 16-field report: a pre-enforcement server has nothing to say.
+    report.enforce_sources = 0;
+    report.enforce_flagged = 0;
+    report.enforce_discounted = 0;
+    report.enforce_blocked = 0;
+    report.enforce_rejected = 0;
+  }
   return true;
 }
 

@@ -143,4 +143,98 @@ Click RevisitStream::next() {
   return c;
 }
 
+// ----------------------------------------------------- CoordinatedBotnet
+
+CoordinatedBotnetStream::CoordinatedBotnetStream(
+    std::unique_ptr<ClickGenerator> background, Options opts)
+    : background_(std::move(background)), opts_(opts), rng_(opts.seed) {}
+
+std::uint32_t CoordinatedBotnetStream::bot_ip(std::uint32_t bot) const {
+  return MixedTrafficStream::user_ip(bot, opts_.seed ^ 0xc0b07);
+}
+
+Click CoordinatedBotnetStream::next() {
+  Click c = background_->next();
+  double fraction = 0.0;
+  if (c.time_us >= opts_.ramp_start_us) {
+    const std::uint64_t into = c.time_us - opts_.ramp_start_us;
+    fraction = opts_.ramp_us == 0 || into >= opts_.ramp_us
+                   ? opts_.peak_fraction
+                   : opts_.peak_fraction * static_cast<double>(into) /
+                         static_cast<double>(opts_.ramp_us);
+  }
+  last_was_attack_ = fraction > 0.0 && rng_.chance(fraction);
+  if (!last_was_attack_) return c;
+
+  const std::uint64_t bot = rng_.below(opts_.bot_count);
+  c.source_ip = bot_ip(static_cast<std::uint32_t>(bot));
+  c.cookie = MixedTrafficStream::user_cookie(bot, opts_.seed ^ 0xc0b07);
+  c.ad_id = opts_.target_ad;
+  c.advertiser_id = opts_.target_ad;
+  c.publisher_id = opts_.colluding_publisher;
+  return c;
+}
+
+// -------------------------------------------------------- LowAndSlowFraud
+
+LowAndSlowFraudStream::LowAndSlowFraudStream(
+    std::unique_ptr<ClickGenerator> background, Options opts)
+    : background_(std::move(background)), opts_(opts), rng_(opts.seed) {}
+
+std::uint32_t LowAndSlowFraudStream::fraud_ip(std::uint32_t source) const {
+  return MixedTrafficStream::user_ip(source, opts_.seed ^ 0x510);
+}
+
+Click LowAndSlowFraudStream::next() {
+  Click c = background_->next();
+  last_was_fraud_ = rng_.chance(opts_.fraud_fraction);
+  if (!last_was_fraud_) return c;
+
+  const std::uint64_t source = rng_.below(opts_.fraud_source_count);
+  c.source_ip = fraud_ip(static_cast<std::uint32_t>(source));
+  c.cookie = rng_.chance(opts_.fresh_cookie_probability)
+                 ? hashing::fmix64(c.sequence ^ (opts_.seed << 7))
+                 : MixedTrafficStream::user_cookie(source, opts_.seed ^ 0x510);
+  c.ad_id = opts_.target_ad;
+  c.advertiser_id = opts_.target_ad;
+  c.publisher_id = opts_.colluding_publisher;
+  return c;
+}
+
+// ---------------------------------------------------------- NatFlashCrowd
+
+NatFlashCrowdStream::NatFlashCrowdStream(Options opts)
+    : opts_(opts), rng_(opts.seed) {}
+
+Click NatFlashCrowdStream::next() {
+  time_us_ = advance_clock(rng_, time_us_, opts_.mean_interarrival_us);
+  Click c;
+  c.sequence = sequence_++;
+  c.time_us = time_us_;
+  c.source_ip = opts_.nat_ip;
+  c.ad_id = opts_.target_ad;
+  c.advertiser_id = opts_.target_ad;
+  c.publisher_id = opts_.publisher;
+
+  // A revisit re-clicks with an ALREADY-SEEN cookie (a real duplicate
+  // under cookie-aware identity); otherwise the next distinct crowd member
+  // arrives. The crowd is finite, so once everyone has clicked, further
+  // arrivals are uniformly-random members — still mostly distinct pairs
+  // because the ad and window move on.
+  last_was_revisit_ = !seen_users_.empty() &&
+                      rng_.chance(opts_.revisit_probability);
+  std::uint64_t user;
+  if (last_was_revisit_) {
+    user = seen_users_[rng_.below(seen_users_.size())];
+  } else if (next_user_ < opts_.crowd_size) {
+    user = next_user_++;
+    seen_users_.push_back(user);
+  } else {
+    user = rng_.below(opts_.crowd_size);
+    last_was_revisit_ = true;  // everyone has clicked once already
+  }
+  c.cookie = MixedTrafficStream::user_cookie(user, opts_.seed ^ 0x9a7);
+  return c;
+}
+
 }  // namespace ppc::stream

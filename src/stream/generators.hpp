@@ -164,4 +164,116 @@ class RevisitStream final : public ClickGenerator {
   bool last_was_revisit_ = false;
 };
 
+/// Enforcement scenario: a coordinated botnet that RAMPS — the attack
+/// fraction grows linearly from 0 at `ramp_start_us` to `peak_fraction` at
+/// `ramp_start_us + ramp_us` and holds there. Each bot keeps one
+/// (ip, cookie) identity and hammers `target_ad`, so per-source duplicate
+/// rates climb with the ramp — the stream a tiered enforcement policy must
+/// walk up kFlagged → kDiscounted → kBlocked on.
+struct CoordinatedBotnetOptions {
+  std::uint32_t bot_count = 32;
+  std::uint32_t target_ad = 7;
+  std::uint32_t colluding_publisher = 3;
+  double peak_fraction = 0.60;
+  std::uint64_t ramp_start_us = 0;
+  std::uint64_t ramp_us = 10'000'000;  // ten seconds to full blast
+  std::uint64_t seed = 5;
+};
+
+class CoordinatedBotnetStream final : public ClickGenerator {
+ public:
+  using Options = CoordinatedBotnetOptions;
+
+  CoordinatedBotnetStream(std::unique_ptr<ClickGenerator> background,
+                          Options opts);
+
+  Click next() override;
+  std::string name() const override { return "coordinated-botnet"; }
+
+  bool last_was_attack() const noexcept { return last_was_attack_; }
+  /// The bot pool's source IPs (ground truth for enforcement tests).
+  std::uint32_t bot_ip(std::uint32_t bot) const;
+
+ private:
+  std::unique_ptr<ClickGenerator> background_;
+  Options opts_;
+  Rng rng_;
+  bool last_was_attack_ = false;
+};
+
+/// Enforcement scenario: low-and-slow fraud — a handful of sources each
+/// re-click the target ad at a small, steady fraction of the stream,
+/// staying under blatant-attack rates while accumulating duplicates
+/// indefinitely. The stream a count-based (not rate-only) policy catches.
+struct LowAndSlowFraudOptions {
+  std::uint32_t fraud_source_count = 4;
+  std::uint32_t target_ad = 11;
+  std::uint32_t colluding_publisher = 5;
+  double fraud_fraction = 0.08;
+  /// Fraction of fraud clicks sent with a FRESH cookie (evades
+  /// identity-keyed duplicate detection). The per-source duplicate rate
+  /// lands near 1 - fresh_cookie_probability — tuned to sit between a
+  /// policy's discount and block thresholds, this is the attacker that
+  /// must be caught by accumulated evidence, not by rate alone.
+  double fresh_cookie_probability = 0.55;
+  std::uint64_t seed = 6;
+};
+
+class LowAndSlowFraudStream final : public ClickGenerator {
+ public:
+  using Options = LowAndSlowFraudOptions;
+
+  LowAndSlowFraudStream(std::unique_ptr<ClickGenerator> background,
+                        Options opts);
+
+  Click next() override;
+  std::string name() const override { return "low-and-slow"; }
+
+  bool last_was_fraud() const noexcept { return last_was_fraud_; }
+  std::uint32_t fraud_ip(std::uint32_t source) const;
+
+ private:
+  std::unique_ptr<ClickGenerator> background_;
+  Options opts_;
+  Rng rng_;
+  bool last_was_fraud_ = false;
+};
+
+/// Enforcement scenario: a legitimate flash crowd behind one NAT — many
+/// DISTINCT users (distinct cookies) share a single source IP and arrive in
+/// a fast burst at the same ad. A small `revisit_probability` makes some
+/// users genuinely re-click (real duplicates), but the per-source duplicate
+/// RATE stays low — the stream an IP-keyed enforcement policy must NOT
+/// block (kClean or kFlagged, never beyond).
+struct NatFlashCrowdOptions {
+  std::uint32_t nat_ip = 0x0a0b0c0d;  // 10.11.12.13
+  std::uint32_t crowd_size = 4096;
+  std::uint32_t target_ad = 2;
+  std::uint32_t publisher = 1;
+  double revisit_probability = 0.08;
+  double mean_interarrival_us = 200.0;  // flash: 5k clicks/sec
+  std::uint64_t seed = 7;
+};
+
+class NatFlashCrowdStream final : public ClickGenerator {
+ public:
+  using Options = NatFlashCrowdOptions;
+
+  explicit NatFlashCrowdStream(Options opts = {});
+
+  Click next() override;
+  std::string name() const override { return "nat-flash-crowd"; }
+
+  bool last_was_revisit() const noexcept { return last_was_revisit_; }
+
+ private:
+  Options opts_;
+  Rng rng_;
+  std::vector<std::uint64_t> seen_users_;  ///< users who already clicked
+  std::uint64_t next_user_ = 0;
+  std::uint64_t sequence_ = 0;
+  std::uint64_t time_us_ = 0;
+  bool last_was_revisit_ = false;
+};
+
 }  // namespace ppc::stream

@@ -235,5 +235,69 @@ TEST(RateMonitor, WarmupSuppressesEarlyAlarms) {
   }
 }
 
+TEST(RateMonitor, EqualRatiosAreRejected) {
+  // clear_ratio == trigger_ratio leaves a zero-width hysteresis band; the
+  // constructor must refuse it, not chatter at the threshold.
+  DuplicateRateMonitor::Options opts;
+  opts.clear_ratio = opts.trigger_ratio;
+  EXPECT_THROW(DuplicateRateMonitor{opts}, std::invalid_argument);
+  // Strictly below is fine.
+  opts.clear_ratio = opts.trigger_ratio - 0.01;
+  EXPECT_NO_THROW(DuplicateRateMonitor{opts});
+}
+
+TEST(RateMonitor, WarmupBoundaryIsExact) {
+  // Click warmup_clicks is still warmup (running mean, no alarms); click
+  // warmup_clicks + 1 is the first EWMA observation and the first that can
+  // alarm. An all-duplicate stream over a tiny floor pins the boundary.
+  DuplicateRateMonitor::Options opts;
+  opts.warmup_clicks = 100;
+  opts.fast_alpha = 1.0;  // fast_ tracks the last observation exactly
+  opts.slow_alpha = 0.5;
+  DuplicateRateMonitor monitor(opts);
+  for (std::uint64_t i = 0; i < opts.warmup_clicks; ++i) {
+    EXPECT_FALSE(monitor.observe(true)) << "alarm inside warmup at " << i;
+  }
+  EXPECT_EQ(monitor.clicks(), opts.warmup_clicks);
+  EXPECT_FALSE(monitor.alarmed());
+  // Warmup tracked the running mean of an all-duplicate stream: both
+  // estimates sit at 1.0, so the baseline is saturated and the very next
+  // duplicate cannot trip fast > trigger * baseline. A clean stretch pulls
+  // fast_ down, then a duplicate right after warmup CAN alarm — proving
+  // observation warmup_clicks + k is live EWMA territory.
+  EXPECT_EQ(monitor.baseline_rate(), 1.0);
+  EXPECT_FALSE(monitor.observe(false));  // first EWMA step: fast_ → 0
+  EXPECT_EQ(monitor.fast_rate(), 0.0)
+      << "observation warmup_clicks+1 still used the running mean";
+  while (monitor.clicks() < opts.warmup_clicks + 50) monitor.observe(false);
+  EXPECT_FALSE(monitor.alarmed());
+}
+
+TEST(RateMonitor, AlarmReentryProducesPairedTransitions) {
+  // Two separate attacks = exactly two (start, clear) pairs, in order, with
+  // strictly increasing click indices — the journal an incident review
+  // replays must never hold two starts without a clear between them.
+  DuplicateRateMonitor monitor;
+  stream::Rng rng(11);
+  auto feed = [&](int n, double rate) {
+    for (int i = 0; i < n; ++i) monitor.observe(rng.chance(rate));
+  };
+  feed(50'000, 0.03);   // organic
+  feed(20'000, 0.40);   // attack 1
+  feed(50'000, 0.03);   // recovery
+  feed(20'000, 0.40);   // attack 2
+  feed(50'000, 0.03);   // recovery
+  EXPECT_FALSE(monitor.alarmed());
+  const auto& log = monitor.transitions();
+  ASSERT_EQ(log.size(), 4u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].attack_started, i % 2 == 0)
+        << "transition " << i << " breaks start/clear alternation";
+    if (i > 0) {
+      EXPECT_GT(log[i].at_click, log[i - 1].at_click);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ppc::adnet

@@ -79,8 +79,12 @@ TEST(Integration, BotnetAttackIsBlockedAndAttributed) {
   const auto offenders = auditor.top_offenders(5);
   ASSERT_EQ(offenders.size(), 5u);
   for (const auto& offender : offenders) {
-    EXPECT_TRUE(bot_ips.contains(static_cast<std::uint32_t>(offender.key)))
-        << "non-bot IP " << offender.key << " among top offenders";
+    EXPECT_TRUE(bot_ips.contains(offender.source_ip))
+        << "non-bot IP " << offender.source_ip << " among top offenders";
+    // Each bot provably produced far more duplicates than the flagging
+    // floor, and the guaranteed count is a true lower bound.
+    EXPECT_TRUE(offender.flagged);
+    EXPECT_LE(offender.guaranteed(), offender.count);
   }
 }
 

@@ -28,6 +28,17 @@ std::vector<std::uint8_t> sample_click_batch(std::uint32_t count) {
   return out;
 }
 
+std::vector<std::uint8_t> sample_click_batch_v2(std::uint32_t count) {
+  std::vector<ClickRecordV2> clicks(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    clicks[i] = {i % 5, 0xfade'0000'0000'0000ull + i, 2'000'000ull + i * 125,
+                 0x0a00'0001u + i};
+  }
+  std::vector<std::uint8_t> out;
+  append_click_batch_v2(out, /*seq=*/43, clicks);
+  return out;
+}
+
 /// Every frame type once, concatenated — the corpus the mutations start
 /// from.
 std::vector<std::vector<std::uint8_t>> corpus() {
@@ -43,6 +54,7 @@ std::vector<std::vector<std::uint8_t>> corpus() {
     frames.push_back(f);
   }
   frames.push_back(sample_click_batch(17));
+  frames.push_back(sample_click_batch_v2(13));
   {
     std::vector<std::uint8_t> f;
     const bool verdicts[] = {true, false, false, true, true, false, true,
@@ -141,6 +153,27 @@ DecodeStatus check_decode(const std::vector<std::uint8_t>& buf) {
           EXPECT_EQ(times[i], rec.t_us);
         }
       }
+      ClickBatchV2View clicks_v2;
+      if (parse_click_batch_v2(frame.payload, clicks_v2, err)) {
+        if (clicks_v2.count > 0) {
+          EXPECT_GE(clicks_v2.records, begin);
+          EXPECT_LE(clicks_v2.records + clicks_v2.count * kClickRecordV2Bytes,
+                    end);
+        }
+        std::vector<std::uint32_t> ads(clicks_v2.count);
+        std::vector<std::uint64_t> ids(clicks_v2.count);
+        std::vector<std::uint64_t> times(clicks_v2.count);
+        std::vector<std::uint32_t> sources(clicks_v2.count);
+        deinterleave_clicks_v2(clicks_v2.records, clicks_v2.count, ads.data(),
+                               ids.data(), times.data(), sources.data());
+        for (std::uint32_t i = 0; i < clicks_v2.count; ++i) {
+          const ClickRecordV2 rec = clicks_v2.record(i);
+          EXPECT_EQ(ads[i], rec.ad_id);
+          EXPECT_EQ(ids[i], rec.click_id);
+          EXPECT_EQ(times[i], rec.t_us);
+          EXPECT_EQ(sources[i], rec.source_ip);
+        }
+      }
       if (parse_verdict_batch(frame.payload, verdicts, err)) {
         for (std::uint32_t i = 0; i < verdicts.count; ++i) {
           (void)verdicts.duplicate(i);
@@ -214,8 +247,9 @@ TEST(WireFuzz, OversizedLengthPrefixIsRejectedNotBuffered) {
 }
 
 TEST(WireFuzz, UnknownFrameTypeIsRejected) {
-  // 11 is the first unassigned type id (10 = STATS_ACK is the last valid).
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{11},
+  // 12 is the first unassigned type id (11 = CLICK_BATCH_V2 is the last
+  // valid).
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{12},
                                   std::uint8_t{0x7f}, std::uint8_t{0xff}}) {
     std::vector<std::uint8_t> body{type, 1, 2, 3};
     std::vector<std::uint8_t> buf;
@@ -256,6 +290,59 @@ TEST(WireFuzz, ClickCountDisagreeingWithPayloadIsRejected) {
         << "count " << bad_count << " accepted";  // ...the parse is not
     EXPECT_FALSE(error.empty());
   }
+}
+
+TEST(WireFuzz, ClickCountV2DisagreeingWithPayloadIsRejected) {
+  // Same forged-count discipline for the 24-byte v2 records: rewrite the
+  // embedded count, fix the CRC, and require the typed parser (not the
+  // framing) to reject.
+  const std::vector<std::uint8_t> frame = sample_click_batch_v2(8);
+  for (const std::uint32_t bad_count :
+       {0u, 7u, 9u, 1000u, kMaxClicksPerBatch + 1, 0xffffffffu}) {
+    std::vector<std::uint8_t> mutated = frame;
+    // Layout: len(4) type(1) seq(8) count(4) ...
+    mutated[13] = static_cast<std::uint8_t>(bad_count);
+    mutated[14] = static_cast<std::uint8_t>(bad_count >> 8);
+    mutated[15] = static_cast<std::uint8_t>(bad_count >> 16);
+    mutated[16] = static_cast<std::uint8_t>(bad_count >> 24);
+    const std::size_t body_len = mutated.size() - kFrameOverhead;
+    const std::uint32_t fixed_crc = crc32({mutated.data() + 4, body_len});
+    mutated[mutated.size() - 4] = static_cast<std::uint8_t>(fixed_crc);
+    mutated[mutated.size() - 3] = static_cast<std::uint8_t>(fixed_crc >> 8);
+    mutated[mutated.size() - 2] = static_cast<std::uint8_t>(fixed_crc >> 16);
+    mutated[mutated.size() - 1] = static_cast<std::uint8_t>(fixed_crc >> 24);
+
+    FrameView view;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(decode_frame(mutated, view, consumed, error),
+              DecodeStatus::kFrame);
+    ClickBatchV2View batch;
+    EXPECT_FALSE(parse_click_batch_v2(view.payload, batch, error))
+        << "count " << bad_count << " accepted";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(WireFuzz, ClickBatchV2RecordLayoutIsExact) {
+  // One record, hand-assembled offsets: ad@0, id@4, t@12, source@20.
+  std::vector<std::uint8_t> buf;
+  const ClickRecordV2 rec{0x01020304u, 0x1112131415161718ull,
+                          0x2122232425262728ull, 0xc0a80a01u};
+  append_click_batch_v2(buf, /*seq=*/1, {&rec, 1});
+  FrameView frame;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(decode_frame(buf, frame, consumed, error), DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kClickBatchV2);
+  ASSERT_EQ(frame.payload.size(), 12u + kClickRecordV2Bytes);
+  ClickBatchV2View view;
+  ASSERT_TRUE(parse_click_batch_v2(frame.payload, view, error));
+  const ClickRecordV2 back = view.record(0);
+  EXPECT_EQ(back.ad_id, rec.ad_id);
+  EXPECT_EQ(back.click_id, rec.click_id);
+  EXPECT_EQ(back.t_us, rec.t_us);
+  EXPECT_EQ(back.source_ip, rec.source_ip);
 }
 
 TEST(WireFuzz, RandomGarbageNeverDecodesAsFrame) {
@@ -401,6 +488,11 @@ TEST(WireFuzz, StatsReportRoundTrip) {
   report.promotion_deferrals = 666;
   report.hot_target_fpr = 1.25e-4;   // exact in binary: survives bit_cast
   report.tail_target_fpr = 0.03125;
+  report.enforce_sources = 777;
+  report.enforce_flagged = 11;
+  report.enforce_discounted = 5;
+  report.enforce_blocked = 3;
+  report.enforce_rejected = 888;
   std::vector<std::uint8_t> buf;
   append_stats_ack(buf, report);
   FrameView frame;
@@ -413,8 +505,20 @@ TEST(WireFuzz, StatsReportRoundTrip) {
   ASSERT_TRUE(parse_stats_ack(frame.payload, parsed, error));
   EXPECT_EQ(parsed, report);
 
-  // Any payload size other than the fixed 128 bytes is rejected cleanly.
-  for (const std::size_t n : {0u, 1u, 64u, 127u, 129u, 256u}) {
+  // Legacy 128-byte payload (pre-enforcement servers): the 16 original
+  // fields parse, the enforce_* tail reads as zero.
+  StatsReport legacy;
+  ASSERT_TRUE(parse_stats_ack(
+      std::span<const std::uint8_t>(frame.payload.data(),
+                                    kStatsReportLegacyBytes),
+      legacy, error));
+  EXPECT_EQ(legacy.clicks, report.clicks);
+  EXPECT_EQ(legacy.tail_target_fpr, report.tail_target_fpr);
+  EXPECT_EQ(legacy.enforce_sources, 0u);
+  EXPECT_EQ(legacy.enforce_rejected, 0u);
+
+  // Any payload size other than the two fixed layouts is rejected cleanly.
+  for (const std::size_t n : {0u, 1u, 64u, 127u, 129u, 167u, 169u, 256u}) {
     const std::vector<std::uint8_t> bad(n, 0xcd);
     error.clear();
     EXPECT_FALSE(parse_stats_ack(bad, parsed, error)) << "size " << n;

@@ -35,6 +35,16 @@
 // restart resumes its decaying windows instead of forgetting the last N
 // clicks. A restore whose window spec, shard count, or detector kind does
 // not match the command line is refused with a clear error.
+//
+// Enforcement: --enforce=on wraps the sink in a server::EnforcingSink with
+// the default enforce::EnforcementPolicy; --enforce=k=v,... overrides
+// individual thresholds (see usage). Clicks on CLICK_BATCH_V2 connections
+// from sources the reputation ledger currently blocks are rejected at the
+// wire. --blocklist-export=PATH writes the CSV blocklist to PATH and an
+// nft-loadable set to PATH.nft at drain; --journal=PATH appends one line
+// per tier transition as it happens. With --enforce, --snapshot/--restore
+// carry the ledger alongside the window state (composed format — a
+// snapshot written without --enforce is refused on restore with it).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +58,10 @@
 #include <thread>
 
 #include "adnet/detector_pool.hpp"
+#include "enforce/blocklist_export.hpp"
+#include "enforce/reputation_ledger.hpp"
 #include "server/client.hpp"
+#include "server/enforcing_sink.hpp"
 #include "server/ingest_server.hpp"
 #include "server/server_config.hpp"
 
@@ -98,7 +111,20 @@ namespace {
       "  --snapshot=PATH      write window state here on graceful drain\n"
       "                       (atomic: PATH.tmp + fsync + rename)\n"
       "  --restore=PATH       seed window state from a snapshot before\n"
-      "                       listening (must match --window/--shards/--sink)\n",
+      "                       listening (must match --window/--shards/--sink)\n"
+      "  --enforce=on|SPEC    tiered enforcement on v2 traffic: SPEC is\n"
+      "                       k=v[,k=v...] over flag-rate, discount-rate,\n"
+      "                       block-rate, flag-min, discount-min, block-min,\n"
+      "                       blatant-rate, blatant-min, demote-ratio,\n"
+      "                       half-life-us, ttl-us, rate-alpha, min-clicks,\n"
+      "                       max-sources, by-publisher (e.g.\n"
+      "                       --enforce=block-rate=0.6,ttl-us=30000000)\n"
+      "  --blocklist-export=PATH\n"
+      "                       with --enforce: write the CSV blocklist to\n"
+      "                       PATH and an nft-loadable set to PATH.nft at\n"
+      "                       graceful drain\n"
+      "  --journal=PATH       with --enforce: append one line per tier\n"
+      "                       transition (flushed as it happens)\n",
       argv0);
   std::exit(2);
 }
@@ -136,6 +162,45 @@ double flag_double(const std::map<std::string, std::string>& flags,
                    const std::string& key, double fallback) {
   const auto it = flags.find(key);
   return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+/// "k=v,k=v" → EnforcementPolicy; "on"/"1" keeps every default. Throws
+/// std::invalid_argument on unknown keys (and the ledger constructor
+/// rejects inconsistent threshold combinations).
+enforce::EnforcementPolicy parse_enforce_spec(const std::string& spec) {
+  enforce::EnforcementPolicy p;
+  if (spec == "on" || spec == "1") return p;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--enforce: expected k=v, got '" + item +
+                                  "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "flag-rate") p.flag_rate = std::stod(value);
+    else if (key == "discount-rate") p.discount_rate = std::stod(value);
+    else if (key == "block-rate") p.block_rate = std::stod(value);
+    else if (key == "flag-min") p.flag_min_duplicates = std::stoull(value);
+    else if (key == "discount-min") p.discount_min_duplicates = std::stoull(value);
+    else if (key == "block-min") p.block_min_duplicates = std::stoull(value);
+    else if (key == "blatant-rate") p.blatant_rate = std::stod(value);
+    else if (key == "blatant-min") p.blatant_min_duplicates = std::stoull(value);
+    else if (key == "demote-ratio") p.demote_ratio = std::stod(value);
+    else if (key == "half-life-us") p.score_half_life_us = std::stoull(value);
+    else if (key == "ttl-us") p.block_ttl_us = std::stoull(value);
+    else if (key == "rate-alpha") p.rate_alpha = std::stod(value);
+    else if (key == "min-clicks") p.min_clicks = std::stoull(value);
+    else if (key == "max-sources") p.max_sources = std::stoull(value);
+    else if (key == "by-publisher") p.key_by_publisher = value == "1" || value == "true";
+    else throw std::invalid_argument("--enforce: unknown key '" + key + "'");
+  }
+  return p;
 }
 
 server::IngestServer* g_server = nullptr;
@@ -239,15 +304,42 @@ int main(int argc, char** argv) {
       usage(argv[0]);
     }
 
+    // Enforcement wrap: the EnforcingSink decorates whatever sink was
+    // built above, so every sink kind gains wire-level blocking.
+    std::unique_ptr<enforce::ReputationLedger> ledger;
+    std::unique_ptr<enforce::DecisionJournal> journal;
+    std::unique_ptr<server::EnforcingSink> enforcing;
+    server::ClickSink* active = sink.get();
+    const std::string enforce_spec = flag(flags, "enforce", "");
+    const std::string blocklist_path = flag(flags, "blocklist-export", "");
+    if (!enforce_spec.empty()) {
+      ledger = std::make_unique<enforce::ReputationLedger>(
+          parse_enforce_spec(enforce_spec));
+      const std::string journal_path = flag(flags, "journal", "");
+      if (!journal_path.empty()) {
+        journal = std::make_unique<enforce::DecisionJournal>(journal_path);
+        ledger->set_transition_callback(
+            [j = journal.get()](const enforce::TierTransition& t) {
+              j->append(t);
+            });
+      }
+      enforcing = std::make_unique<server::EnforcingSink>(*sink, *ledger);
+      active = enforcing.get();
+    } else if (!blocklist_path.empty() || flags.contains("journal")) {
+      std::fprintf(stderr,
+                   "ppcd: --blocklist-export/--journal require --enforce\n");
+      return 2;
+    }
+
     const std::string restore_path = flag(flags, "restore", "");
     if (!restore_path.empty()) {
-      server::IngestServer::restore_sink_snapshot(*sink, restore_path);
+      server::IngestServer::restore_sink_snapshot(*active, restore_path);
       std::printf("ppcd: restored window state from %s\n",
                   restore_path.c_str());
       std::fflush(stdout);
     }
 
-    server::IngestServer srv(*sink, opts);
+    server::IngestServer srv(*active, opts);
     const std::uint16_t bound = srv.listen(host, port);
     g_server = &srv;
     std::signal(SIGINT, handle_signal);
@@ -256,7 +348,7 @@ int main(int argc, char** argv) {
 
     std::printf("ppcd: listening on %s:%u — sink=%s window=%s "
                 "shards=%zu owners=%zu engine=%s flush=%zu loops=%zu\n",
-                host.c_str(), bound, sink->describe().c_str(),
+                host.c_str(), bound, active->describe().c_str(),
                 cfg.window.describe().c_str(), cfg.shards, cfg.owners,
                 engine.c_str(), opts.flush_clicks, opts.loops);
     std::fflush(stdout);
@@ -324,6 +416,36 @@ int main(int argc, char** argv) {
     const auto st = srv.drain();
     if (!opts.snapshot_path.empty()) {
       std::printf("ppcd: snapshot written to %s\n", opts.snapshot_path.c_str());
+    }
+    if (enforcing) {
+      const enforce::ReputationLedger::Stats es = ledger->stats();
+      std::printf(
+          "ppcd: enforce: sources=%llu flagged=%llu discounted=%llu "
+          "blocked=%llu rejected=%llu promotions=%llu demotions=%llu "
+          "block_expiries=%llu\n",
+          static_cast<unsigned long long>(es.sources),
+          static_cast<unsigned long long>(es.flagged),
+          static_cast<unsigned long long>(es.discounted),
+          static_cast<unsigned long long>(es.blocked),
+          static_cast<unsigned long long>(enforcing->rejected()),
+          static_cast<unsigned long long>(es.promotions),
+          static_cast<unsigned long long>(es.demotions),
+          static_cast<unsigned long long>(es.block_expiries));
+      if (!blocklist_path.empty()) {
+        const auto write_text = [](const std::string& path,
+                                   const std::string& text) {
+          std::FILE* f = std::fopen(path.c_str(), "w");
+          if (f == nullptr) {
+            throw std::runtime_error("ppcd: cannot write " + path);
+          }
+          std::fwrite(text.data(), 1, text.size(), f);
+          std::fclose(f);
+        };
+        write_text(blocklist_path, enforce::export_csv(*ledger));
+        write_text(blocklist_path + ".nft", enforce::export_nftables(*ledger));
+        std::printf("ppcd: blocklist written to %s (+.nft)\n",
+                    blocklist_path.c_str());
+      }
     }
     const auto ls = srv.loop_stats();
     const double secs =

@@ -273,9 +273,10 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
   }
   std::printf("top duplicate sources:\n");
   for (const auto& e : auditor.top_offenders(5)) {
-    std::printf("  %-16s >= %llu duplicates\n",
-                stream::format_ip(static_cast<std::uint32_t>(e.key)).c_str(),
-                static_cast<unsigned long long>(e.count - e.error));
+    std::printf("  %-16s >= %llu duplicates%s\n",
+                stream::format_ip(e.source_ip).c_str(),
+                static_cast<unsigned long long>(e.guaranteed()),
+                e.flagged ? "  FLAGGED" : "");
   }
   return 0;
 }
