@@ -41,6 +41,13 @@ class BlockingClient {
   void set_sndbuf(int bytes) noexcept { sndbuf_ = bytes; }
 
   void connect(const std::string& host, std::uint16_t port) {
+    // A reused client (the replication follower reconnects through link
+    // faults) must not carry a previous connection's partial frame into
+    // the new byte stream — that would misalign every frame after it.
+    rlen_ = 0;
+    rpos_ = 0;
+    last_consumed_ = 0;
+    loop_id_ = 0;
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) throw_errno("socket");
     if (rcvbuf_ > 0) {
@@ -136,6 +143,21 @@ class BlockingClient {
     send_raw(scratch_);
   }
 
+  /// Replication handshake cursor — only legal after
+  /// handshake(wire::kProtocolVersionV3) against a replication listener.
+  void send_repl_hello(std::uint64_t next_seq) {
+    scratch_.clear();
+    wire::append_repl_hello(scratch_, next_seq);
+    send_raw(scratch_);
+  }
+
+  /// Acknowledges the highest replication sequence applied.
+  void send_repl_ack(std::uint64_t seq) {
+    scratch_.clear();
+    wire::append_repl_ack(scratch_, seq);
+    send_raw(scratch_);
+  }
+
   void send_ping(std::uint64_t token) {
     scratch_.clear();
     wire::append_ping(scratch_, token);
@@ -225,6 +247,14 @@ class BlockingClient {
       ::close(fd_);
       fd_ = -1;
     }
+  }
+
+  /// Half-closes both directions WITHOUT releasing the fd: a thread
+  /// blocked in recv()/send() on this socket returns immediately, while
+  /// the descriptor stays owned until close() — so another thread may
+  /// call this to interrupt I/O without racing fd reuse.
+  void shutdown_now() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
   }
 
   int fd() const noexcept { return fd_; }

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/snapshot_io.hpp"
+#include "server/replication.hpp"
 
 namespace ppc::server {
 
@@ -128,7 +129,8 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
       std::uint32_t version = 0;
       if (!wire::parse_version(frame.payload, version, why)) return false;
       if (version != wire::kProtocolVersion &&
-          version != wire::kProtocolVersionV2) {
+          version != wire::kProtocolVersionV2 &&
+          version != wire::kProtocolVersionV3) {
         why = "unsupported protocol version " + std::to_string(version);
         return false;
       }
@@ -233,6 +235,15 @@ bool IngestServer::LoopWorker::handle_frame(Connection& conn,
     case wire::FrameType::kStatsAck:
       why = std::string("client sent server-only frame ") +
             frame_type_name(frame.type);
+      return false;
+    case wire::FrameType::kReplHello:
+    case wire::FrameType::kReplBatch:
+    case wire::FrameType::kReplAck:
+    case wire::FrameType::kReplSnapshot:
+      // Replication speaks on its own listener (ReplicationSource); the
+      // ingest port never mixes the two roles.
+      why = std::string("replication frame ") + frame_type_name(frame.type) +
+            " on an ingest connection";
       return false;
   }
   why = "unreachable frame type";
@@ -385,7 +396,18 @@ IngestServer::IngestServer(ClickSink& sink, Options opts)
         "IngestServer: snapshot_path is set but backend " + sink_.describe() +
         " does not support snapshots");
   }
-  serialize_offers_ = opts_.loops > 1 && !sink_.concurrent();
+  if (opts_.replication != nullptr && !sink_.supports_snapshots()) {
+    throw std::invalid_argument(
+        "IngestServer: replication is configured but backend " +
+        sink_.describe() +
+        " does not support snapshots (ring-rotation catch-up needs them)");
+  }
+  // Replication forces the mutex even for concurrent sinks and single
+  // loops: ring appends must interleave with offers in ONE total order
+  // (the order followers replay), and replication_snapshot() quiesces
+  // offers by holding the same mutex.
+  serialize_offers_ = (opts_.loops > 1 && !sink_.concurrent()) ||
+                      opts_.replication != nullptr;
   workers_.reserve(opts_.loops);
   for (std::size_t i = 0; i < opts_.loops; ++i) {
     workers_.push_back(
@@ -443,7 +465,24 @@ void IngestServer::offer_to_sink(std::span<const std::uint32_t> ad_ids,
                                  std::span<bool> out) {
   if (serialize_offers_) {
     const std::lock_guard<std::mutex> g(sink_mu_);
-    sink_.offer(ad_ids, ids, times, out);
+    if (opts_.replication != nullptr) {
+      // Ring entries are capped at kMaxClicksPerBatch, so offer in the
+      // same chunks that get appended: followers replay one ring entry
+      // per sink call, and offer boundaries are semantic for batch-scoped
+      // sinks (EnforcingSink decides a whole batch before observing it).
+      const std::size_t n = ids.size();
+      for (std::size_t off = 0; off < n; off += wire::kMaxClicksPerBatch) {
+        const std::size_t m =
+            std::min<std::size_t>(n - off, wire::kMaxClicksPerBatch);
+        sink_.offer(ad_ids.subspan(off, m), ids.subspan(off, m),
+                    times.subspan(off, m), out.subspan(off, m));
+        opts_.replication->append(ad_ids.subspan(off, m),
+                                  ids.subspan(off, m),
+                                  times.subspan(off, m), {});
+      }
+    } else {
+      sink_.offer(ad_ids, ids, times, out);
+    }
   } else {
     sink_.offer(ad_ids, ids, times, out);
   }
@@ -456,7 +495,27 @@ void IngestServer::offer_to_sink(std::span<const std::uint32_t> ad_ids,
                                  std::span<bool> out) {
   if (serialize_offers_) {
     const std::lock_guard<std::mutex> g(sink_mu_);
-    sink_.offer_with_sources(ad_ids, ids, times, sources, out);
+    // Appending under the same mutex hold makes ring order identical to
+    // sink order — the invariant the followers' bit-identity rests on —
+    // and chunking at the ring-entry cap makes replayed offer BOUNDARIES
+    // identical too (see the v1 overload above).
+    if (opts_.replication != nullptr) {
+      const std::size_t n = ids.size();
+      for (std::size_t off = 0; off < n; off += wire::kMaxClicksPerBatch) {
+        const std::size_t m =
+            std::min<std::size_t>(n - off, wire::kMaxClicksPerBatch);
+        sink_.offer_with_sources(ad_ids.subspan(off, m),
+                                 ids.subspan(off, m), times.subspan(off, m),
+                                 sources.subspan(off, m),
+                                 out.subspan(off, m));
+        opts_.replication->append(ad_ids.subspan(off, m),
+                                  ids.subspan(off, m),
+                                  times.subspan(off, m),
+                                  sources.subspan(off, m));
+      }
+    } else {
+      sink_.offer_with_sources(ad_ids, ids, times, sources, out);
+    }
   } else {
     sink_.offer_with_sources(ad_ids, ids, times, sources, out);
   }
@@ -506,16 +565,37 @@ namespace {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
 }
 
-}  // namespace
-
-void IngestServer::save_sink_snapshot(const ClickSink& sink,
-                                      const std::string& path) {
+/// The snapshot-file byte image (envelope + sink state) — what
+/// save_sink_snapshot writes to disk and replication_snapshot ships over
+/// the wire, byte for byte the same.
+std::string encode_sink_snapshot(const ClickSink& sink) {
   std::ostringstream payload(std::ios::binary);
   sink.save_state(payload);
   std::ostringstream file(std::ios::binary);
   core::detail::write_section(file, core::detail::kServerSnapshotMagic,
                               payload.str());
-  const std::string bytes = file.str();
+  return file.str();
+}
+
+}  // namespace
+
+std::string IngestServer::replication_snapshot(std::uint64_t& base_seq) {
+  if (opts_.replication == nullptr) {
+    throw std::logic_error(
+        "IngestServer: replication_snapshot without a replication log");
+  }
+  // Every offer path holds sink_mu_ when replication is configured
+  // (serialize_offers_), so holding it here freezes the sink AND the ring
+  // at one consistent cut: the state below equals exactly the ring
+  // sequences [1, base_seq) applied.
+  const std::lock_guard<std::mutex> g(sink_mu_);
+  base_seq = opts_.replication->next_seq();
+  return encode_sink_snapshot(sink_);
+}
+
+void IngestServer::save_sink_snapshot(const ClickSink& sink,
+                                      const std::string& path) {
+  const std::string bytes = encode_sink_snapshot(sink);
 
   // Atomic publish: write + fsync a sibling temp file, then rename() it
   // over the target — readers see either the old snapshot or the complete

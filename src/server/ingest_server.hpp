@@ -54,6 +54,8 @@
 
 namespace ppc::server {
 
+class ReplicationLog;  // server/replication.hpp
+
 /// Where decoded clicks go. `out[i]` must be set to true iff click i is a
 /// duplicate. Implementations advertise via concurrent() whether offer()
 /// may be driven from several loop threads at once; when it may not, the
@@ -256,6 +258,13 @@ class IngestServer final {
     /// the SIGTERM snapshot-on-drain path. A failed write throws out of
     /// drain() AFTER all verdicts were delivered.
     std::string snapshot_path;
+    /// When set, every flushed batch is appended to this ring (in sink
+    /// order) for streaming to warm-standby followers. Replication forces
+    /// offers onto the sink mutex even for concurrent sinks: the ring
+    /// needs the one total click order the followers will replay, and
+    /// replication_snapshot() needs a lock that quiesces offers. Requires
+    /// a snapshot-capable sink (ring rotation falls back to snapshots).
+    ReplicationLog* replication = nullptr;
     EventLoop::Options loop;
   };
 
@@ -313,6 +322,14 @@ class IngestServer final {
   /// Stream variant of restore_sink_snapshot (tests; `what` names the
   /// source in errors).
   static void restore_sink_snapshot(ClickSink& sink, std::istream& in);
+
+  /// Captures the sink's state as snapshot-file bytes at a quiesced cut:
+  /// offers are frozen (sink mutex — see Options::replication) while the
+  /// state is serialized and `base_seq` reads the ring's next sequence, so
+  /// the returned snapshot equals exactly batches [1, base_seq) applied.
+  /// Only valid when Options::replication is set; safe to call from a
+  /// ReplicationSource session thread while the server runs.
+  std::string replication_snapshot(std::uint64_t& base_seq);
 
   Stats stats() const noexcept {
     return {clicks_.load(std::memory_order_relaxed),

@@ -40,6 +40,23 @@
 //                 count x { u32 ad_id,            after a version-2 HELLO;
 //                 u64 click_id, u64 t_us,         carries the source IP
 //                 u32 source_ip }  (24 B each)    for wire enforcement
+//   REPL_HELLO    u64 next_seq                    follower -> primary, after
+//                                                 a version-3 HELLO: first
+//                                                 replication sequence the
+//                                                 follower still needs
+//                                                 (1 = fresh follower)
+//   REPL_BATCH    u64 seq, u32 count,             primary -> follower: one
+//                 count x ClickRecordV2 (24 B)    ring entry of accepted
+//                                                 clicks, always in v2
+//                                                 record form (source_ip 0
+//                                                 for v1-ingested clicks)
+//   REPL_ACK      u64 seq                         follower -> primary:
+//                                                 highest sequence applied
+//   REPL_SNAPSHOT u64 base_seq, u32 chunk_index,  primary -> follower when
+//                 u32 chunk_count, chunk bytes    the ring rotated past the
+//                                                 follower: chunks of a sink
+//                                                 snapshot whose state equals
+//                                                 batches [1, base_seq)
 //
 // Decoding discipline (shared with core/snapshot_io.hpp): every length and
 // count decoded from the wire is validated against a hard cap AND against
@@ -64,6 +81,10 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 /// Version 2 adds CLICK_BATCH_V2 (per-click source IP). Servers accept
 /// both; a v2 frame on a version-1 connection is a protocol error.
 inline constexpr std::uint32_t kProtocolVersionV2 = 2;
+/// Version 3 adds the REPL_* replication frames (and implies v2's
+/// CLICK_BATCH_V2). Only a replication listener speaks them; an ingest
+/// connection sending REPL_* is a protocol error.
+inline constexpr std::uint32_t kProtocolVersionV3 = 3;
 
 /// Hard cap on one frame's body. A CLICK_BATCH of the largest permitted
 /// click count fits with room to spare; anything larger is malformed by
@@ -79,6 +100,16 @@ inline constexpr std::size_t kFrameOverhead = 8;
 /// the offer_batch pipelines were tuned at), and well under what a
 /// kMaxFrameBody frame could physically carry.
 inline constexpr std::uint32_t kMaxClicksPerBatch = 32768;
+
+/// Caps on the chunked REPL_SNAPSHOT transfer: a sink snapshot is split
+/// into at most kMaxReplSnapshotChunks chunks of at most
+/// kMaxReplSnapshotChunkBytes payload bytes each. The product (2 GiB)
+/// matches core::detail::kMaxSectionBytes, so any snapshot the envelope
+/// can legally hold fits; a forged chunk_count can never make a follower
+/// pre-commit more than that.
+inline constexpr std::uint32_t kMaxReplSnapshotChunks = 4096;
+inline constexpr std::size_t kMaxReplSnapshotChunkBytes =
+    std::size_t{512} * 1024;
 
 /// One click on the wire: 20 bytes, see CLICK_BATCH above.
 struct ClickRecord {
@@ -114,6 +145,10 @@ enum class FrameType : std::uint8_t {
   kStats = 9,
   kStatsAck = 10,
   kClickBatchV2 = 11,
+  kReplHello = 12,
+  kReplBatch = 13,
+  kReplAck = 14,
+  kReplSnapshot = 15,
 };
 
 inline const char* frame_type_name(FrameType t) {
@@ -129,6 +164,10 @@ inline const char* frame_type_name(FrameType t) {
     case FrameType::kStats: return "STATS";
     case FrameType::kStatsAck: return "STATS_ACK";
     case FrameType::kClickBatchV2: return "CLICK_BATCH_V2";
+    case FrameType::kReplHello: return "REPL_HELLO";
+    case FrameType::kReplBatch: return "REPL_BATCH";
+    case FrameType::kReplAck: return "REPL_ACK";
+    case FrameType::kReplSnapshot: return "REPL_SNAPSHOT";
   }
   return "UNKNOWN";
 }
@@ -527,6 +566,57 @@ inline void append_stats_ack(std::vector<std::uint8_t>& out,
   detail::seal_frame(out, kStatsReportBytes);
 }
 
+/// REPL_HELLO: the follower's catch-up cursor — the first replication
+/// sequence it has NOT applied yet (1 for a fresh follower).
+inline void append_repl_hello(std::vector<std::uint8_t>& out,
+                              std::uint64_t next_seq) {
+  std::uint8_t* p = detail::open_frame(out, FrameType::kReplHello, 8);
+  set_u64(p, next_seq);
+  detail::seal_frame(out, 8);
+}
+
+/// REPL_BATCH: one ring entry. `records` points at `count` packed
+/// ClickRecordV2 wire records (24 bytes each) — the exact byte layout the
+/// ring retains, so the primary streams without re-interleaving.
+inline void append_repl_batch(std::vector<std::uint8_t>& out,
+                              std::uint64_t seq, std::uint32_t count,
+                              const std::uint8_t* records) {
+  const std::size_t payload_len =
+      12 + static_cast<std::size_t>(count) * kClickRecordV2Bytes;
+  std::uint8_t* p = detail::open_frame(out, FrameType::kReplBatch,
+                                       payload_len);
+  set_u64(p, seq);
+  set_u32(p + 8, count);
+  std::memcpy(p + 12, records,
+              static_cast<std::size_t>(count) * kClickRecordV2Bytes);
+  detail::seal_frame(out, payload_len);
+}
+
+inline void append_repl_ack(std::vector<std::uint8_t>& out,
+                            std::uint64_t seq) {
+  std::uint8_t* p = detail::open_frame(out, FrameType::kReplAck, 8);
+  set_u64(p, seq);
+  detail::seal_frame(out, 8);
+}
+
+/// REPL_SNAPSHOT: chunk `chunk_index` of `chunk_count` of a sink snapshot
+/// (the same envelope bytes save_sink_snapshot writes). The reassembled
+/// snapshot's state equals replication batches [1, base_seq) applied.
+inline void append_repl_snapshot(std::vector<std::uint8_t>& out,
+                                 std::uint64_t base_seq,
+                                 std::uint32_t chunk_index,
+                                 std::uint32_t chunk_count,
+                                 std::span<const std::uint8_t> chunk) {
+  const std::size_t payload_len = 16 + chunk.size();
+  std::uint8_t* p = detail::open_frame(out, FrameType::kReplSnapshot,
+                                       payload_len);
+  set_u64(p, base_seq);
+  set_u32(p + 8, chunk_index);
+  set_u32(p + 12, chunk_count);
+  if (!chunk.empty()) std::memcpy(p + 16, chunk.data(), chunk.size());
+  detail::seal_frame(out, payload_len);
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 
@@ -572,7 +662,7 @@ inline DecodeStatus decode_frame(std::span<const std::uint8_t> buf,
   }
   const std::uint8_t type = body[0];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kClickBatchV2)) {
+      type > static_cast<std::uint8_t>(FrameType::kReplSnapshot)) {
     error = "unknown frame type " + std::to_string(type);
     return DecodeStatus::kError;
   }
@@ -835,6 +925,124 @@ inline bool parse_stats_ack(std::span<const std::uint8_t> payload,
     report.enforce_blocked = 0;
     report.enforce_rejected = 0;
   }
+  return true;
+}
+
+inline bool parse_repl_hello(std::span<const std::uint8_t> payload,
+                             std::uint64_t& next_seq, std::string& error) {
+  if (payload.size() != 8) {
+    error = "REPL_HELLO payload must be 8 bytes, got " +
+            std::to_string(payload.size());
+    return false;
+  }
+  next_seq = get_u64(payload.data());
+  if (next_seq == 0) {
+    error = "REPL_HELLO next_seq 0 (sequences start at 1)";
+    return false;
+  }
+  return true;
+}
+
+inline bool parse_repl_ack(std::span<const std::uint8_t> payload,
+                           std::uint64_t& seq, std::string& error) {
+  if (payload.size() != 8) {
+    error = "REPL_ACK payload must be 8 bytes, got " +
+            std::to_string(payload.size());
+    return false;
+  }
+  seq = get_u64(payload.data());
+  return true;
+}
+
+/// Zero-copy view of a REPL_BATCH payload (same lifetime rules as
+/// ClickBatchView); `records` is `count` packed ClickRecordV2 records.
+struct ReplBatchView {
+  std::uint64_t seq = 0;
+  std::uint32_t count = 0;
+  const std::uint8_t* records = nullptr;
+
+  ClickRecordV2 record(std::size_t i) const {
+    const std::uint8_t* p = records + i * kClickRecordV2Bytes;
+    return {get_u32(p), get_u64(p + 4), get_u64(p + 12), get_u32(p + 20)};
+  }
+};
+
+inline bool parse_repl_batch(std::span<const std::uint8_t> payload,
+                             ReplBatchView& view, std::string& error) {
+  if (payload.size() < 12) {
+    error = "REPL_BATCH payload shorter than its header";
+    return false;
+  }
+  view.seq = get_u64(payload.data());
+  view.count = get_u32(payload.data() + 8);
+  if (view.seq == 0) {
+    error = "REPL_BATCH seq 0 (sequences start at 1)";
+    return false;
+  }
+  if (view.count == 0) {
+    error = "REPL_BATCH count 0 (empty ring entries are never sent)";
+    return false;
+  }
+  if (view.count > kMaxClicksPerBatch) {
+    error = "REPL_BATCH count " + std::to_string(view.count) +
+            " exceeds cap " + std::to_string(kMaxClicksPerBatch);
+    return false;
+  }
+  const std::size_t expected =
+      12 + static_cast<std::size_t>(view.count) * kClickRecordV2Bytes;
+  if (payload.size() != expected) {
+    error = "REPL_BATCH count " + std::to_string(view.count) +
+            " disagrees with payload size " + std::to_string(payload.size());
+    return false;
+  }
+  view.records = payload.data() + 12;
+  return true;
+}
+
+/// Zero-copy view of one REPL_SNAPSHOT chunk (same lifetime rules).
+struct ReplSnapshotView {
+  std::uint64_t base_seq = 0;
+  std::uint32_t chunk_index = 0;
+  std::uint32_t chunk_count = 0;
+  std::span<const std::uint8_t> chunk;
+};
+
+inline bool parse_repl_snapshot(std::span<const std::uint8_t> payload,
+                                ReplSnapshotView& view, std::string& error) {
+  if (payload.size() < 16) {
+    error = "REPL_SNAPSHOT payload shorter than its header";
+    return false;
+  }
+  view.base_seq = get_u64(payload.data());
+  view.chunk_index = get_u32(payload.data() + 8);
+  view.chunk_count = get_u32(payload.data() + 12);
+  if (view.base_seq == 0) {
+    error = "REPL_SNAPSHOT base_seq 0 (sequences start at 1)";
+    return false;
+  }
+  if (view.chunk_count == 0) {
+    error = "REPL_SNAPSHOT chunk_count 0";
+    return false;
+  }
+  if (view.chunk_count > kMaxReplSnapshotChunks) {
+    error = "REPL_SNAPSHOT chunk_count " + std::to_string(view.chunk_count) +
+            " exceeds cap " + std::to_string(kMaxReplSnapshotChunks);
+    return false;
+  }
+  if (view.chunk_index >= view.chunk_count) {
+    error = "REPL_SNAPSHOT chunk_index " + std::to_string(view.chunk_index) +
+            " out of range for chunk_count " +
+            std::to_string(view.chunk_count);
+    return false;
+  }
+  const std::size_t chunk_bytes = payload.size() - 16;
+  if (chunk_bytes > kMaxReplSnapshotChunkBytes) {
+    error = "REPL_SNAPSHOT chunk of " + std::to_string(chunk_bytes) +
+            " bytes exceeds cap " +
+            std::to_string(kMaxReplSnapshotChunkBytes);
+    return false;
+  }
+  view.chunk = payload.subspan(16);
   return true;
 }
 

@@ -1,0 +1,275 @@
+// ChaosProxy: a loopback TCP proxy with scripted fault injection, shared
+// by the replication fault suite and the server e2e chaos arm.
+//
+// The proxy listens on an ephemeral port and forwards every accepted
+// connection to a fixed upstream, byte-for-byte, through one pump thread
+// per direction. A test scripts a SCHEDULE of faults; each accepted
+// connection consumes the next entry (connections beyond the schedule are
+// forwarded clean), so a reconnecting client marches through the schedule
+// one failure at a time and then converges:
+//
+//   kKill      — forward the first `at_byte` bytes of the chosen
+//                direction, then hard-kill both sockets (mid-frame reset).
+//   kTruncate  — forward the first `at_byte` bytes, then half-close the
+//                destination: the receiver sees a clean EOF mid-frame,
+//                exactly what a crashed peer's final segment looks like.
+//   kStall     — forward the first `at_byte` bytes, freeze the direction
+//                for `stall_ms`, then forward normally (no disconnect).
+//
+// Byte offsets count a single direction's stream, so a test can split any
+// chosen frame at any chosen byte — header, payload, or trailing CRC.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppc::server {
+
+class ChaosProxy {
+ public:
+  enum class FaultKind : std::uint8_t { kKill, kTruncate, kStall };
+  enum class Direction : std::uint8_t {
+    kClientToServer,  ///< bytes the downstream client sends upstream
+    kServerToClient,  ///< bytes the upstream server sends back
+  };
+
+  struct Fault {
+    FaultKind kind = FaultKind::kKill;
+    Direction direction = Direction::kServerToClient;
+    std::size_t at_byte = 0;  ///< fires after exactly this many bytes pass
+    int stall_ms = 0;         ///< kStall only
+  };
+
+  ChaosProxy(std::string upstream_host, std::uint16_t upstream_port)
+      : upstream_host_(std::move(upstream_host)),
+        upstream_port_(upstream_port) {}
+
+  ~ChaosProxy() { stop(); }
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Appends one fault to the schedule (call before the connection that
+  /// should suffer it is accepted).
+  void push_fault(Fault f) {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_.push_back(f);
+  }
+
+  /// Binds an ephemeral loopback port and starts accepting. Returns the
+  /// port clients should connect to.
+  std::uint16_t listen() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("ChaosProxy: socket failed");
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(listen_fd_, 64) < 0) {
+      throw std::runtime_error("ChaosProxy: bind/listen failed: " +
+                               std::string(strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return port_;
+  }
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, kills every live proxied connection, joins all
+  /// threads. Idempotent.
+  void stop() {
+    if (stop_.exchange(true)) return;
+    // Wake the accept thread, join it, and only then close the listener:
+    // the thread reads listen_fd_, so the fd must stay valid until join.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    std::vector<std::unique_ptr<Conn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns.swap(conns_);
+    }
+    for (auto& c : conns) {
+      ::shutdown(c->down, SHUT_RDWR);
+      ::shutdown(c->up, SHUT_RDWR);
+    }
+    for (auto& c : conns) {
+      if (c->t_up.joinable()) c->t_up.join();
+      if (c->t_down.joinable()) c->t_down.join();
+      ::close(c->down);
+      ::close(c->up);
+    }
+  }
+
+  std::size_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::size_t faults_fired() const {
+    return faults_fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int down = -1;  ///< client-facing socket
+    int up = -1;    ///< upstream-facing socket
+    std::thread t_up;    ///< pumps client → server
+    std::thread t_down;  ///< pumps server → client
+  };
+
+  void accept_loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      const int down = ::accept(listen_fd_, nullptr, nullptr);
+      if (down < 0) return;  // listener closed by stop()
+      const int up = connect_upstream();
+      if (up < 0) {
+        ::close(down);  // upstream gone: refuse by dropping the client
+        continue;
+      }
+      bool has_fault = false;
+      Fault fault{};
+      auto conn = std::make_unique<Conn>();
+      conn->down = down;
+      conn->up = up;
+      Conn* c = conn.get();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed)) {
+          ::close(down);
+          ::close(up);
+          return;
+        }
+        const std::size_t i =
+            connections_accepted_.load(std::memory_order_relaxed);
+        if (i < schedule_.size()) {
+          has_fault = true;
+          fault = schedule_[i];
+        }
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        conns_.push_back(std::move(conn));
+      }
+      const bool fault_up =
+          has_fault && fault.direction == Direction::kClientToServer;
+      const bool fault_down =
+          has_fault && fault.direction == Direction::kServerToClient;
+      c->t_up = std::thread([this, c, fault_up, fault] {
+        pump(*c, c->down, c->up, fault_up, fault);
+      });
+      c->t_down = std::thread([this, c, fault_down, fault] {
+        pump(*c, c->up, c->down, fault_down, fault);
+      });
+    }
+  }
+
+  int connect_upstream() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(upstream_port_);
+    inet_pton(AF_INET, upstream_host_.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  static bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void pump(Conn& conn, int src, int dst, bool armed, Fault fault) {
+    std::vector<std::uint8_t> buf(64 * 1024);
+    std::size_t forwarded = 0;
+    while (true) {
+      ssize_t n = ::recv(src, buf.data(), buf.size(), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        // EOF or error: propagate the half-close and stop this direction.
+        ::shutdown(dst, SHUT_WR);
+        return;
+      }
+      std::size_t len = static_cast<std::size_t>(n);
+      if (armed && forwarded + len >= fault.at_byte) {
+        const std::size_t head =
+            fault.at_byte > forwarded ? fault.at_byte - forwarded : 0;
+        if (head > 0 && !send_all(dst, buf.data(), head)) return;
+        forwarded += head;
+        faults_fired_.fetch_add(1, std::memory_order_relaxed);
+        switch (fault.kind) {
+          case FaultKind::kKill:
+            ::shutdown(conn.down, SHUT_RDWR);
+            ::shutdown(conn.up, SHUT_RDWR);
+            return;
+          case FaultKind::kTruncate:
+            // The receiver sees clean EOF mid-frame; stop reading too so
+            // the sender's next write surfaces the dead link.
+            ::shutdown(dst, SHUT_WR);
+            ::shutdown(src, SHUT_RD);
+            return;
+          case FaultKind::kStall:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(fault.stall_ms));
+            if (!send_all(dst, buf.data() + head, len - head)) return;
+            forwarded += len - head;
+            armed = false;  // one-shot: the direction flows clean after
+            continue;
+        }
+      }
+      if (!send_all(dst, buf.data(), len)) {
+        ::shutdown(src, SHUT_RD);
+        return;
+      }
+      forwarded += len;
+    }
+  }
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  mutable std::mutex mu_;
+  std::vector<Fault> schedule_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::atomic<std::size_t> faults_fired_{0};
+};
+
+}  // namespace ppc::server

@@ -692,6 +692,21 @@ RunResult run_cmd(const std::string& cmd) {
   return {WEXITSTATUS(status), output};
 }
 
+/// Starts ppcd in the background, waits until it reports readiness
+/// ("listening on" — printed after any --restore), then delivers SIGTERM
+/// and returns the full captured output. Readiness-driven rather than a
+/// fixed sleep: sanitizer builds can take seconds just to reach main.
+RunResult run_ppcd_until_listening_then_term(const std::string& flags,
+                                             const std::string& log) {
+  return run_cmd(ppcd_bin() + flags + " > " + log + " 2>&1 & pid=$!;" +
+                 " for i in $(seq 1 400); do" +
+                 "   kill -0 $pid 2>/dev/null || break;" +
+                 "   grep -q 'listening on' " + log + " 2>/dev/null && break;" +
+                 "   sleep 0.05;" +
+                 " done;" +
+                 " kill -TERM $pid 2>/dev/null; wait $pid; cat " + log);
+}
+
 /// Writes a snapshot file exactly as a `ppcd --sink=sharded` daemon with
 /// these flags would on drain.
 std::string write_sharded_snapshot(const server::DetectorConfig& cfg,
@@ -759,10 +774,11 @@ TEST(PpcdCli, RestoreShardedSnapshotIntoPoolSinkFails) {
 
 TEST(PpcdCli, SigtermDrainWritesRestorableSnapshot) {
   const std::string snap = ::testing::TempDir() + "/cli_drain.snap";
-  // `timeout` delivers SIGTERM after 2 s; ppcd drains gracefully, writing
-  // the snapshot on the way out.
-  const auto r = run_cmd("timeout -s TERM 2 " + ppcd_bin() + kCliFlags +
-                         " --snapshot=" + snap);
+  // SIGTERM once the daemon is up; ppcd drains gracefully, writing the
+  // snapshot on the way out.
+  const auto r = run_ppcd_until_listening_then_term(
+      std::string(kCliFlags) + " --snapshot=" + snap,
+      ::testing::TempDir() + "/cli_drain.log");
   EXPECT_NE(r.output.find("ppcd: drained"), std::string::npos) << r.output;
   EXPECT_NE(r.output.find("snapshot written to"), std::string::npos)
       << r.output;
@@ -773,8 +789,9 @@ TEST(PpcdCli, SigtermDrainWritesRestorableSnapshot) {
   EXPECT_NO_THROW(server::IngestServer::restore_sink_snapshot(sink, snap));
 
   // ...and a second daemon accepts it via --restore.
-  const auto r2 = run_cmd("timeout -s TERM 1 " + ppcd_bin() + kCliFlags +
-                          " --restore=" + snap);
+  const auto r2 = run_ppcd_until_listening_then_term(
+      std::string(kCliFlags) + " --restore=" + snap,
+      ::testing::TempDir() + "/cli_restore.log");
   EXPECT_NE(r2.output.find("restored window state"), std::string::npos)
       << r2.output;
 }

@@ -1,0 +1,973 @@
+// Fault-injection proof of warm-standby replication.
+//
+// Every test composes a real primary (IngestServer + ReplicationLog +
+// ReplicationSource on loopback sockets) with a real follower
+// (ReplicationApplier + ReplicationFollower), optionally routed through
+// tests/chaos_proxy.hpp so scripted link failures — connections killed at
+// byte N, frames truncated mid-header, transfers stalled — land between
+// them. The acceptance bar everywhere is BYTE-IDENTITY: after the primary
+// drains and the follower converges, both sinks' drain snapshots must be
+// the same bytes, and both must equal an uninterrupted single-process run
+// of the same click stream. Failover is proven end to end twice — in
+// process (promote the follower's sink behind a fresh IngestServer) and
+// at the CLI (ppcd --follow promoted via SIGUSR1) — with the concatenated
+// verdict stream compared click-for-click against an oracle that never
+// crashed.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adnet/detector_pool.hpp"
+#include "chaos_proxy.hpp"
+#include "enforce/reputation_ledger.hpp"
+#include "server/client.hpp"
+#include "server/enforcing_sink.hpp"
+#include "server/ingest_server.hpp"
+#include "server/replication.hpp"
+#include "server/server_config.hpp"
+#include "stream/click.hpp"
+#include "stream/generators.hpp"
+
+namespace ppc::server {
+namespace {
+
+// ------------------------------------------------------------- fixtures
+
+/// A serving primary with replication enabled: ingest listener, bounded
+/// ring, and a replication listener streaming it to followers. The caller
+/// owns the sink (so any sink type can be replicated).
+class ReplicatedPrimary {
+ public:
+  explicit ReplicatedPrimary(ClickSink& sink,
+                             ReplicationLog::Options ring = {},
+                             IngestServer::Options opts = {})
+      : log(ring),
+        srv(sink, with_log(opts, log)),
+        source(log,
+               [this](std::uint64_t& base) {
+                 return srv.replication_snapshot(base);
+               }) {
+    ingest_port = srv.listen("127.0.0.1", 0);
+    repl_port = source.listen("127.0.0.1", 0);
+    source.start();
+    loop_ = std::thread([this] { srv.run(); });
+  }
+
+  ~ReplicatedPrimary() {
+    drain();
+    source.stop();
+  }
+
+  /// Graceful shutdown: stop the loop, drain (the final flush lands in the
+  /// ring before this returns). Idempotent.
+  IngestServer::Stats drain() {
+    if (loop_.joinable()) {
+      srv.stop();
+      loop_.join();
+      drained_ = srv.drain();
+    }
+    return drained_;
+  }
+
+  ReplicationLog log;
+  IngestServer srv;
+  ReplicationSource source;
+  std::uint16_t ingest_port = 0;
+  std::uint16_t repl_port = 0;
+
+ private:
+  static IngestServer::Options with_log(IngestServer::Options o,
+                                        ReplicationLog& l) {
+    o.replication = &l;
+    return o;
+  }
+
+  std::thread loop_;
+  IngestServer::Stats drained_{};
+};
+
+/// The follower half: an applier over the caller's sink and the wire pump
+/// feeding it. start() may target the primary directly or a ChaosProxy.
+class Standby {
+ public:
+  explicit Standby(ClickSink& sink) : applier(sink) {}
+  ~Standby() { stop(); }
+
+  void start(std::uint16_t port) {
+    follower =
+        std::make_unique<ReplicationFollower>("127.0.0.1", port, applier);
+    follower->start();
+  }
+  void stop() {
+    if (follower) follower->stop();
+  }
+
+  ReplicationApplier applier;
+  std::unique_ptr<ReplicationFollower> follower;
+};
+
+/// Polls until the applier's cursor reaches the ring's end (all appended
+/// batches applied, no snapshot transfer in flight).
+bool wait_caught_up(const ReplicationApplier& applier,
+                    const ReplicationLog& log, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (applier.next_seq() == log.next_seq() && !applier.in_snapshot()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return applier.next_seq() == log.next_seq() && !applier.in_snapshot();
+}
+
+// -------------------------------------------------------------- helpers
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Drain-snapshot bytes of any sink — the byte-identity currency of this
+/// suite (same envelope ppcd writes on SIGTERM).
+std::string snapshot_bytes(const ClickSink& sink, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  IngestServer::save_sink_snapshot(sink, path);
+  return slurp(path);
+}
+
+DetectorConfig gbf_config() {
+  DetectorConfig cfg;
+  cfg.window = core::WindowSpec::jumping_count(4096, 8);  // → GBF
+  cfg.memory_bits = std::uint64_t{1} << 18;
+  return cfg;
+}
+
+std::vector<wire::ClickRecord> make_clicks(std::uint32_t ad_id,
+                                           std::size_t count,
+                                           std::uint64_t seed) {
+  stream::MixedTrafficStream::Options opts;
+  opts.seed = seed;
+  opts.user_count = 500;  // small population → plenty of duplicates
+  stream::MixedTrafficStream gen(opts);
+  std::vector<wire::ClickRecord> clicks(count);
+  for (auto& rec : clicks) {
+    stream::Click c = gen.next();
+    c.ad_id = ad_id;
+    rec = {c.ad_id, stream::click_identifier(c), c.time_us};
+  }
+  return clicks;
+}
+
+/// v2 clicks spread over `ad_count` ads with deterministic source IPs:
+/// every 5th click comes from one of 3 "attacker" sources re-firing a tiny
+/// id pool (hot duplicates for the ledger), the rest from a benign rotation.
+std::vector<wire::ClickRecordV2> make_clicks_v2(std::size_t count,
+                                                std::uint32_t ad_count,
+                                                std::uint64_t seed) {
+  stream::MixedTrafficStream::Options opts;
+  opts.seed = seed;
+  opts.user_count = 500;
+  stream::MixedTrafficStream gen(opts);
+  std::vector<wire::ClickRecordV2> clicks(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream::Click c = gen.next();
+    wire::ClickRecordV2& rec = clicks[i];
+    rec.ad_id = 1 + static_cast<std::uint32_t>(i % ad_count);
+    rec.t_us = c.time_us;
+    if (i % 5 == 0) {
+      rec.source_ip = 0x0a000001 + static_cast<std::uint32_t>(i % 3);
+      rec.click_id = 0xbad0000 + (i % 16);  // tiny pool → duplicate storm
+    } else {
+      rec.source_ip = 0x14000000 + static_cast<std::uint32_t>(i % 64);
+      rec.click_id = stream::click_identifier(c);
+    }
+  }
+  return clicks;
+}
+
+std::vector<bool> oracle_verdicts(const DetectorConfig& cfg,
+                                  std::span<const wire::ClickRecord> clicks) {
+  auto detector = build_detector(cfg);
+  std::vector<bool> verdicts(clicks.size());
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    verdicts[i] = detector->offer(clicks[i].click_id, clicks[i].t_us);
+  }
+  return verdicts;
+}
+
+/// Lock-step send of v1 batches, collecting verdict bits in order.
+void send_and_collect(BlockingClient& client,
+                      std::span<const wire::ClickRecord> clicks,
+                      std::size_t batch, std::vector<bool>& out) {
+  out.clear();
+  out.reserve(clicks.size());
+  std::uint64_t seq = 0;
+  std::size_t sent = 0;
+  while (sent < clicks.size()) {
+    const std::size_t n = std::min(batch, clicks.size() - sent);
+    client.send_click_batch(seq, clicks.subspan(sent, n));
+    sent += n;
+    wire::FrameView frame;
+    ASSERT_TRUE(client.read_frame(frame));
+    ASSERT_EQ(frame.type, wire::FrameType::kVerdictBatch);
+    wire::VerdictBatchView view;
+    std::string err;
+    ASSERT_TRUE(wire::parse_verdict_batch(frame.payload, view, err)) << err;
+    ASSERT_EQ(view.seq, seq);
+    ASSERT_EQ(view.count, n);
+    for (std::uint32_t i = 0; i < view.count; ++i) {
+      out.push_back(view.duplicate(i));
+    }
+    ++seq;
+  }
+}
+
+/// v2 variant of send_and_collect (source-attributed clicks).
+void send_and_collect_v2(BlockingClient& client,
+                         std::span<const wire::ClickRecordV2> clicks,
+                         std::size_t batch, std::vector<bool>& out) {
+  out.clear();
+  out.reserve(clicks.size());
+  std::uint64_t seq = 0;
+  std::size_t sent = 0;
+  while (sent < clicks.size()) {
+    const std::size_t n = std::min(batch, clicks.size() - sent);
+    client.send_click_batch_v2(seq, clicks.subspan(sent, n));
+    sent += n;
+    wire::FrameView frame;
+    ASSERT_TRUE(client.read_frame(frame));
+    ASSERT_EQ(frame.type, wire::FrameType::kVerdictBatch);
+    wire::VerdictBatchView view;
+    std::string err;
+    ASSERT_TRUE(wire::parse_verdict_batch(frame.payload, view, err)) << err;
+    ASSERT_EQ(view.seq, seq);
+    ASSERT_EQ(view.count, n);
+    for (std::uint32_t i = 0; i < view.count; ++i) {
+      out.push_back(view.duplicate(i));
+    }
+    ++seq;
+  }
+}
+
+// ------------------------------------------------------ ring unit checks
+
+TEST(ReplicationLog, SplitsOversizedAppendsAndEvictsOldestFirst) {
+  ReplicationLog::Options o;
+  o.max_batches = 3;
+  ReplicationLog log(o);
+
+  // 40000 clicks in one append must split at the wire batch cap.
+  const std::size_t n = 40'000;
+  std::vector<std::uint32_t> ads(n, 1), sources;
+  std::vector<std::uint64_t> ids(n), times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids[i] = i;
+    times[i] = i;
+  }
+  log.append(ads, ids, times, sources);
+  EXPECT_EQ(log.first_seq(), 1u);
+  EXPECT_EQ(log.next_seq(), 3u);  // 32768 + 7232
+  ReplicationLog::Batch b;
+  ASSERT_TRUE(log.get(1, b));
+  EXPECT_EQ(b.count, wire::kMaxClicksPerBatch);
+  ASSERT_TRUE(log.get(2, b));
+  EXPECT_EQ(b.count, n - wire::kMaxClicksPerBatch);
+
+  // Two more appends overflow max_batches=3: the OLDEST entries go.
+  log.append(std::span(ads).first(10), std::span(ids).first(10),
+             std::span(times).first(10), {});
+  log.append(std::span(ads).first(10), std::span(ids).first(10),
+             std::span(times).first(10), {});
+  EXPECT_EQ(log.next_seq(), 5u);
+  EXPECT_EQ(log.first_seq(), 2u);
+  EXPECT_EQ(log.evicted_batches(), 1u);
+  EXPECT_FALSE(log.get(1, b));
+  ASSERT_TRUE(log.get(4, b));
+  EXPECT_EQ(b.count, 10u);
+  EXPECT_EQ(log.appended_clicks(), n + 20);
+}
+
+// ------------------------------------------------- clean-link convergence
+
+TEST(Replication, CleanLinkFollowerSnapshotIsByteIdentical) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  ReplicatedPrimary primary(psink);
+  Standby standby(fsink);
+  standby.start(primary.repl_port);
+
+  const auto clicks = make_clicks(1, 60'000, 101);
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, clicks, 1024, verdicts);
+  ASSERT_EQ(verdicts.size(), clicks.size());
+
+  // Replication must not perturb the primary's own verdicts.
+  const auto expected = oracle_verdicts(cfg, clicks);
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    ASSERT_EQ(verdicts[i], expected[i]) << "primary diverged at click " << i;
+  }
+
+  primary.drain();
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 10'000));
+  standby.stop();
+  primary.source.stop();
+
+  EXPECT_EQ(standby.applier.clicks_applied(), clicks.size());
+  EXPECT_EQ(standby.applier.snapshots_applied(), 0u);
+  const std::string ps = snapshot_bytes(psink, "clean_primary.snap");
+  const std::string fs = snapshot_bytes(fsink, "clean_follower.snap");
+  ASSERT_FALSE(ps.empty());
+  EXPECT_EQ(ps, fs) << "follower state diverged on a clean link";
+}
+
+// --------------------------------------------------- chaos fault schedules
+
+// The follower's link runs through a ChaosProxy scripted with every fault
+// kind at several stream positions: connections reset before, during, and
+// after the handshake; frames truncated mid-header and mid-payload in both
+// directions; a transfer stalled mid-batch. Each failure forces the
+// catch-up handshake from the applier's cursor; after the schedule drains
+// the link runs clean and the follower MUST converge to the same bytes.
+TEST(Replication, FollowerConvergesThroughEveryChaosFaultSchedule) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  ReplicatedPrimary primary(psink);
+  ChaosProxy proxy("127.0.0.1", primary.repl_port);
+  const std::uint16_t proxy_port = proxy.listen();
+
+  using FK = ChaosProxy::FaultKind;
+  using Dir = ChaosProxy::Direction;
+  // One entry per follower connection attempt, consumed in accept order.
+  const std::vector<ChaosProxy::Fault> schedule = {
+      {FK::kKill, Dir::kServerToClient, 0, 0},      // reset before HELLO_ACK
+      {FK::kKill, Dir::kServerToClient, 9, 0},      // reset mid-HELLO_ACK
+      {FK::kKill, Dir::kClientToServer, 5, 0},      // reset mid-HELLO
+      {FK::kTruncate, Dir::kClientToServer, 25, 0}, // EOF mid-REPL_HELLO
+      {FK::kTruncate, Dir::kServerToClient, 30, 0}, // EOF mid-batch header
+      {FK::kKill, Dir::kServerToClient, 2000, 0},   // reset mid-batch body
+      {FK::kTruncate, Dir::kServerToClient, 4321, 0},  // EOF mid-payload
+      {FK::kStall, Dir::kServerToClient, 1000, 150},   // freeze, then flow
+  };
+  for (const auto& f : schedule) proxy.push_fault(f);
+
+  Standby standby(fsink);
+  standby.start(proxy_port);
+
+  const auto clicks = make_clicks(1, 80'000, 202);
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, clicks, 999, verdicts);  // odd size: frames never
+  ASSERT_EQ(verdicts.size(), clicks.size());        // align with ring entries
+
+  primary.drain();
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 30'000))
+      << "follower never converged; last error: "
+      << standby.follower->last_error()
+      << " [conns=" << proxy.connections_accepted()
+      << " faults=" << proxy.faults_fired()
+      << " reconnects=" << standby.follower->reconnects()
+      << " applier_next=" << standby.applier.next_seq()
+      << " log_next=" << primary.log.next_seq()
+      << " sessions=" << primary.source.sessions_accepted() << "]";
+  standby.stop();
+  primary.source.stop();
+  proxy.stop();
+
+  // Most of the schedule must actually have fired (late entries can be
+  // skipped only if convergence used fewer reconnects, which the kill
+  // entries make impossible).
+  EXPECT_GE(proxy.faults_fired(), schedule.size() - 1);
+  EXPECT_GE(standby.follower->reconnects(), 5u);
+  EXPECT_EQ(standby.applier.clicks_applied(), clicks.size());
+
+  const std::string ps = snapshot_bytes(psink, "chaos_primary.snap");
+  const std::string fs = snapshot_bytes(fsink, "chaos_follower.snap");
+  ASSERT_FALSE(ps.empty());
+  EXPECT_EQ(ps, fs) << "a link fault corrupted follower state";
+
+  const auto expected = oracle_verdicts(cfg, clicks);
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    ASSERT_EQ(verdicts[i], expected[i]) << "primary diverged at click " << i;
+  }
+}
+
+// ------------------------------------------------------- catch-up paths
+
+// A follower that connects AFTER the whole stream was ingested replays
+// everything from the ring (no snapshot transfer involved).
+TEST(Replication, LateFollowerCatchesUpFromRing) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  ReplicatedPrimary primary(psink);  // default ring: holds everything here
+  const auto clicks = make_clicks(1, 40'000, 303);
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, clicks, 1024, verdicts);
+  primary.drain();
+  EXPECT_EQ(primary.log.evicted_batches(), 0u);
+
+  Standby standby(fsink);
+  standby.start(primary.repl_port);
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 10'000));
+  standby.stop();
+  primary.source.stop();
+
+  EXPECT_EQ(standby.applier.snapshots_applied(), 0u)
+      << "ring replay must not need a snapshot";
+  EXPECT_EQ(standby.applier.clicks_applied(), clicks.size());
+  EXPECT_EQ(snapshot_bytes(psink, "ring_primary.snap"),
+            snapshot_bytes(fsink, "ring_follower.snap"));
+}
+
+// With a 2-entry ring the stream rotates far past a fresh follower's
+// cursor, forcing the snapshot transfer (chunked: the 1 MiB detector
+// state spans multiple REPL_SNAPSHOT frames) plus a ring-tail replay.
+TEST(Replication, RotatedRingFallsBackToChunkedSnapshotCatchUp) {
+  DetectorConfig cfg = gbf_config();
+  cfg.memory_bits = std::uint64_t{1} << 23;  // 1 MiB → multi-chunk snapshot
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  ReplicationLog::Options ring;
+  ring.max_batches = 2;
+  ReplicatedPrimary primary(psink, ring);
+
+  const auto clicks = make_clicks(1, 100'000, 404);
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, clicks, 1024, verdicts);
+  ASSERT_GT(primary.log.evicted_batches(), 0u)
+      << "the ring never rotated; the test would not cover snapshots";
+
+  // Fresh follower: REPL_HELLO presents seq 1, long gone from the ring.
+  Standby standby(fsink);
+  standby.start(primary.repl_port);
+
+  // Keep ingesting while the snapshot ships — the cut must stay exact.
+  const auto more = make_clicks(1, 20'000, 405);
+  std::vector<bool> more_verdicts;
+  send_and_collect(client, more, 1024, more_verdicts);
+
+  primary.drain();
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 30'000))
+      << standby.follower->last_error();
+  standby.stop();
+  primary.source.stop();
+
+  EXPECT_GE(standby.applier.snapshots_applied(), 1u)
+      << "catch-up must have used the snapshot path";
+  EXPECT_LT(standby.applier.clicks_applied(), clicks.size() + more.size())
+      << "the snapshot must have covered a prefix (not replayed per click)";
+  EXPECT_EQ(snapshot_bytes(psink, "rot_primary.snap"),
+            snapshot_bytes(fsink, "rot_follower.snap"));
+}
+
+// Chaos ON the snapshot transfer itself: the first two attempts die mid-
+// chunk (truncation, then a reset); reset_transfer must discard the
+// partial bytes and the third attempt's fresh transfer must restore an
+// exact cut.
+TEST(Replication, SnapshotTransferHealsAfterTruncationAndReset) {
+  DetectorConfig cfg = gbf_config();
+  cfg.memory_bits = std::uint64_t{1} << 23;
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  ReplicationLog::Options ring;
+  ring.max_batches = 2;
+  ReplicatedPrimary primary(psink, ring);
+
+  const auto clicks = make_clicks(1, 100'000, 505);
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, clicks, 1024, verdicts);
+  ASSERT_GT(primary.log.evicted_batches(), 0u);
+  primary.drain();
+
+  ChaosProxy proxy("127.0.0.1", primary.repl_port);
+  const std::uint16_t proxy_port = proxy.listen();
+  using FK = ChaosProxy::FaultKind;
+  using Dir = ChaosProxy::Direction;
+  // The snapshot is ~1 MiB of server→client bytes: 300k/700k land inside
+  // chunks 0 and 1 of the transfer.
+  proxy.push_fault({FK::kTruncate, Dir::kServerToClient, 300'000, 0});
+  proxy.push_fault({FK::kKill, Dir::kServerToClient, 700'000, 0});
+
+  Standby standby(fsink);
+  standby.start(proxy_port);
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 30'000))
+      << standby.follower->last_error();
+  standby.stop();
+  primary.source.stop();
+  proxy.stop();
+
+  EXPECT_EQ(proxy.faults_fired(), 2u);
+  EXPECT_GE(standby.applier.snapshots_applied(), 1u);
+  EXPECT_GE(standby.follower->reconnects(), 2u);
+  EXPECT_EQ(snapshot_bytes(psink, "heal_primary.snap"),
+            snapshot_bytes(fsink, "heal_follower.snap"));
+}
+
+// ------------------------------------- bit-identity across the sink zoo
+
+// Sharded, tiered, and enforcing sinks: for each, THREE parties see the
+// same v2 click stream — the replicated primary (over the wire), the
+// follower (through replication), and an uninterrupted single-process
+// stack (direct sink offers). All three drain snapshots must be the same
+// bytes, and the wire verdicts must equal the single-process verdicts.
+void run_sink_identity(ClickSink& primary_sink, ClickSink& follower_sink,
+                       ClickSink& oracle_sink,
+                       std::span<const wire::ClickRecordV2> clicks,
+                       const std::string& tag) {
+  ReplicatedPrimary primary(primary_sink);
+  Standby standby(follower_sink);
+  standby.start(primary.repl_port);
+
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake(wire::kProtocolVersionV2);
+  std::vector<bool> verdicts;
+  send_and_collect_v2(client, clicks, 777, verdicts);
+  ASSERT_EQ(verdicts.size(), clicks.size());
+
+  primary.drain();
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 20'000))
+      << standby.follower->last_error();
+  standby.stop();
+  primary.source.stop();
+
+  // The uninterrupted run: same clicks, same order, straight into an
+  // identically configured sink. Batch boundaries are irrelevant by the
+  // chunk-invariance contract, but mirror the wire batching anyway so the
+  // comparison assumes nothing.
+  std::vector<std::uint32_t> ads, sources;
+  std::vector<std::uint64_t> ids, times;
+  std::vector<char> out;
+  std::vector<bool> direct_verdicts;
+  direct_verdicts.reserve(clicks.size());
+  for (std::size_t off = 0; off < clicks.size(); off += 777) {
+    const std::size_t n = std::min<std::size_t>(777, clicks.size() - off);
+    ads.resize(n);
+    ids.resize(n);
+    times.resize(n);
+    sources.resize(n);
+    out.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ads[i] = clicks[off + i].ad_id;
+      ids[i] = clicks[off + i].click_id;
+      times[i] = clicks[off + i].t_us;
+      sources[i] = clicks[off + i].source_ip;
+    }
+    oracle_sink.offer_with_sources(ads, ids, times, sources,
+                                   {reinterpret_cast<bool*>(out.data()), n});
+    for (std::size_t i = 0; i < n; ++i) direct_verdicts.push_back(out[i]);
+  }
+
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    ASSERT_EQ(verdicts[i], direct_verdicts[i])
+        << tag << ": wire verdict diverged from single-process at click "
+        << i;
+  }
+  const std::string ps = snapshot_bytes(primary_sink, tag + "_p.snap");
+  EXPECT_EQ(ps, snapshot_bytes(follower_sink, tag + "_f.snap"))
+      << tag << ": follower snapshot diverged";
+  EXPECT_EQ(ps, snapshot_bytes(oracle_sink, tag + "_o.snap"))
+      << tag << ": replicated pair diverged from the uninterrupted run";
+}
+
+TEST(ReplicationIdentity, ShardedSinkIsBitIdenticalAcrossAllThreeRuns) {
+  DetectorConfig cfg = gbf_config();
+  cfg.shards = 2;
+  auto d1 = build_detector(cfg);
+  auto d2 = build_detector(cfg);
+  auto d3 = build_detector(cfg);
+  DetectorSink s1(*d1), s2(*d2), s3(*d3);
+  const auto clicks = make_clicks_v2(50'000, 4, 606);
+  run_sink_identity(s1, s2, s3, clicks, "sharded");
+}
+
+TEST(ReplicationIdentity, TieredSinkIsBitIdenticalAcrossAllThreeRuns) {
+  TieredConfig tcfg;
+  tcfg.memory_cap_bits = std::size_t{1} << 27;
+  tcfg.hot_window = core::WindowSpec::sliding_count(256);
+  tcfg.tail_window_clicks = 1 << 16;
+  tcfg.epoch_clicks = 1 << 10;
+  auto p1 = build_tiered_pool(tcfg);
+  auto p2 = build_tiered_pool(tcfg);
+  auto p3 = build_tiered_pool(tcfg);
+  TieredPoolSink s1(*p1), s2(*p2), s3(*p3);
+  const auto clicks = make_clicks_v2(50'000, 8, 707);
+  run_sink_identity(s1, s2, s3, clicks, "tiered");
+}
+
+TEST(ReplicationIdentity, EnforcingSinkIsBitIdenticalAcrossAllThreeRuns) {
+  // Fast-promoting policy so the attacker sources actually get blocked
+  // inside the test stream — enforcement state (and its verdict effects)
+  // must replicate too, not just detector bits.
+  enforce::EnforcementPolicy pol;
+  pol.flag_min_duplicates = 4;
+  pol.discount_min_duplicates = 8;
+  pol.block_min_duplicates = 16;
+  pol.blatant_min_duplicates = 16;
+  pol.rate_alpha = 1.0 / 8;
+  pol.min_clicks = 8;
+  pol.score_half_life_us = 60'000'000;
+  pol.block_ttl_us = 600'000'000;
+
+  DetectorConfig cfg = gbf_config();
+  cfg.shards = 2;
+  auto d1 = build_detector(cfg);
+  auto d2 = build_detector(cfg);
+  auto d3 = build_detector(cfg);
+  DetectorSink i1(*d1), i2(*d2), i3(*d3);
+  enforce::ReputationLedger l1(pol), l2(pol), l3(pol);
+  EnforcingSink s1(i1, l1), s2(i2, l2), s3(i3, l3);
+  const auto clicks = make_clicks_v2(50'000, 4, 808);
+  run_sink_identity(s1, s2, s3, clicks, "enforcing");
+  EXPECT_GT(s3.rejected(), 0u)
+      << "no click was ever wire-rejected; the scenario did not exercise "
+         "enforcement";
+  EXPECT_EQ(s1.rejected(), s2.rejected());
+  EXPECT_EQ(s1.rejected(), s3.rejected());
+}
+
+// ------------------------------------------------------------- failover
+
+// Controlled failover, in process, at the million-click scale the issue
+// demands: 1.1M clicks split across the primary's life and the promoted
+// follower's; the concatenated wire verdict stream must equal an oracle
+// that never failed over — zero verdicts lost, zero flipped.
+TEST(ReplicationFailover, PromoteServesWithZeroVerdictLossAtMillionScale) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+
+  const auto clicks = make_clicks(1, 1'100'000, 909);
+  const std::span<const wire::ClickRecord> all(clicks);
+  const auto phase1 = all.first(700'000);
+  const auto phase2 = all.subspan(700'000);
+
+  std::vector<bool> verdicts;
+  verdicts.reserve(clicks.size());
+  {
+    ReplicatedPrimary primary(psink);
+    Standby standby(fsink);
+    standby.start(primary.repl_port);
+
+    BlockingClient client;
+    client.connect("127.0.0.1", primary.ingest_port);
+    client.handshake();
+    std::vector<bool> got;
+    send_and_collect(client, phase1, wire::kMaxClicksPerBatch, got);
+    ASSERT_EQ(got.size(), phase1.size());
+    verdicts.insert(verdicts.end(), got.begin(), got.end());
+
+    // The primary "fails" (gracefully here; the CLI test below covers the
+    // SIGTERM + SIGUSR1 choreography): drain, wait for the standby.
+    primary.drain();
+    ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 60'000))
+        << standby.follower->last_error();
+    standby.stop();
+    primary.source.stop();
+    EXPECT_EQ(standby.applier.clicks_applied(), phase1.size());
+  }
+
+  // Promote: the follower's sink starts serving behind a fresh server.
+  {
+    IngestServer promoted(fsink, {});
+    const std::uint16_t port = promoted.listen("127.0.0.1", 0);
+    std::thread loop([&promoted] { promoted.run(); });
+    BlockingClient client;
+    client.connect("127.0.0.1", port);
+    client.handshake();
+    std::vector<bool> got;
+    send_and_collect(client, phase2, wire::kMaxClicksPerBatch, got);
+    ASSERT_EQ(got.size(), phase2.size());
+    verdicts.insert(verdicts.end(), got.begin(), got.end());
+    promoted.stop();
+    loop.join();
+    (void)promoted.drain();
+  }
+
+  ASSERT_EQ(verdicts.size(), clicks.size());
+  const auto expected = oracle_verdicts(cfg, clicks);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    if (verdicts[i] != expected[i] && ++mismatches == 1) {
+      ADD_FAILURE() << "first verdict mismatch at click " << i
+                    << " (phase " << (i < phase1.size() ? 1 : 2) << ")";
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "failover lost or flipped verdicts";
+}
+
+// ------------------------------------------------------------ ppcd CLI
+
+std::string ppcd_bin() { return PPCD_BIN; }
+
+constexpr const char* kCliSinkFlags[] = {
+    "--sink=sharded", "--window=jumping:512:4", "--memory-mib=1",
+    "--shards=2"};
+
+DetectorConfig cli_cfg() {
+  DetectorConfig cfg;
+  cfg.window = parse_window_spec("jumping:512:4");
+  cfg.memory_bits = std::uint64_t{1} << 23;
+  cfg.shards = 2;
+  return cfg;
+}
+
+/// fork+exec a ppcd with stdout/stderr appended to `log_path`; the test
+/// keeps the pid so it can deliver the SIGTERM/SIGUSR1 choreography a real
+/// operator would.
+pid_t spawn_ppcd(const std::vector<std::string>& extra_args,
+                 const std::string& log_path) {
+  std::vector<std::string> args{ppcd_bin()};
+  for (const char* f : kCliSinkFlags) args.push_back(f);
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd =
+      ::open(log_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  ::dup2(fd, 1);
+  ::dup2(fd, 2);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  ::_exit(127);
+}
+
+/// Polls `log_path` until `marker` appears; returns the full log so far
+/// ("" on timeout).
+std::string wait_for_marker(const std::string& log_path,
+                            const std::string& marker, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string log = slurp(log_path);
+    if (log.find(marker) != std::string::npos) return log;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return "";
+}
+
+/// "…<marker>127.0.0.1:PORT…" → PORT.
+std::uint16_t port_after(const std::string& log, const std::string& marker) {
+  const std::size_t at = log.find(marker + "127.0.0.1:");
+  if (at == std::string::npos) return 0;
+  return static_cast<std::uint16_t>(
+      std::stoul(log.substr(at + marker.size() + 10)));
+}
+
+int reap(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+// Full operator choreography against real ppcd processes: a replicating
+// primary and a --follow standby; clicks flow; SIGTERM fells the primary
+// (which waits for follower acks before exiting); SIGUSR1 promotes the
+// standby, which then serves the rest of the stream itself. Every verdict
+// across both processes must match one oracle, the primary's drain
+// snapshot must equal the oracle at the failover point, and the promoted
+// follower's final snapshot must equal the oracle at the end.
+TEST(ReplicationCli, Sigusr1FailoverPreservesEveryVerdictAndSnapshotByte) {
+  const std::string dir = ::testing::TempDir();
+  const std::string p_log = dir + "/repl_cli_primary.log";
+  const std::string f_log = dir + "/repl_cli_follower.log";
+  const std::string p_snap = dir + "/repl_cli_primary.snap";
+  const std::string f_snap = dir + "/repl_cli_follower.snap";
+  for (const auto& f : {p_log, f_log, p_snap, f_snap}) std::remove(f.c_str());
+
+  const pid_t primary = spawn_ppcd(
+      {"--listen=127.0.0.1:0", "--replicate-listen=127.0.0.1:0",
+       "--snapshot=" + p_snap},
+      p_log);
+  std::string log = wait_for_marker(p_log, "replicating on", 15'000);
+  ASSERT_FALSE(log.empty()) << "primary never came up: " << slurp(p_log);
+  const std::uint16_t ingest_port = port_after(log, "listening on ");
+  const std::uint16_t repl_port = port_after(log, "replicating on ");
+  ASSERT_NE(ingest_port, 0);
+  ASSERT_NE(repl_port, 0);
+
+  const pid_t follower = spawn_ppcd(
+      {"--listen=127.0.0.1:0",
+       "--follow=127.0.0.1:" + std::to_string(repl_port),
+       "--snapshot=" + f_snap},
+      f_log);
+  log = wait_for_marker(f_log, "standby on", 15'000);
+  ASSERT_FALSE(log.empty()) << "follower never came up: " << slurp(f_log);
+  const std::uint16_t standby_port = port_after(log, "standby on ");
+  ASSERT_NE(standby_port, 0);
+
+  // Phase 1: 20k clicks into the primary.
+  const auto clicks = make_clicks(1, 30'000, 111);
+  const std::span<const wire::ClickRecord> all(clicks);
+  const auto phase1 = all.first(20'000);
+  const auto phase2 = all.subspan(20'000);
+  std::vector<bool> verdicts;
+  {
+    BlockingClient client;
+    client.connect("127.0.0.1", ingest_port);
+    client.handshake();
+    std::vector<bool> got;
+    send_and_collect(client, phase1, 500, got);
+    ASSERT_EQ(got.size(), phase1.size());
+    verdicts = std::move(got);
+  }
+
+  // The primary dies. Its drain waits for follower acks (up to 10 s), so
+  // once it has exited the standby provably holds every phase-1 click.
+  ASSERT_EQ(::kill(primary, SIGTERM), 0);
+  ASSERT_EQ(reap(primary), 0);
+  log = slurp(p_log);
+  EXPECT_NE(log.find("ppcd: replication:"), std::string::npos) << log;
+  EXPECT_EQ(log.find("had not acknowledged"), std::string::npos)
+      << "primary exited before the follower caught up: " << log;
+
+  // Promote the standby and keep serving the same stream.
+  ASSERT_EQ(::kill(follower, SIGUSR1), 0);
+  log = wait_for_marker(f_log, "ppcd: promoted", 15'000);
+  ASSERT_FALSE(log.empty()) << "SIGUSR1 did not promote: " << slurp(f_log);
+  {
+    BlockingClient client;
+    client.connect("127.0.0.1", standby_port);
+    client.handshake();
+    std::vector<bool> got;
+    send_and_collect(client, phase2, 500, got);
+    ASSERT_EQ(got.size(), phase2.size());
+    verdicts.insert(verdicts.end(), got.begin(), got.end());
+  }
+  ASSERT_EQ(::kill(follower, SIGTERM), 0);
+  ASSERT_EQ(reap(follower), 0);
+  log = slurp(f_log);
+  EXPECT_NE(log.find("ppcd: drained"), std::string::npos) << log;
+
+  // Zero verdict loss across the failover...
+  const DetectorConfig cfg = cli_cfg();
+  const auto expected = oracle_verdicts(cfg, clicks);
+  ASSERT_EQ(verdicts.size(), clicks.size());
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    ASSERT_EQ(verdicts[i], expected[i])
+        << "verdict diverged at click " << i << " (phase "
+        << (i < phase1.size() ? 1 : 2) << ")";
+  }
+
+  // ...and byte-identical snapshots against oracles that never failed
+  // over: the primary's at the failover point, the follower's at the end.
+  {
+    auto oracle = build_detector(cfg);
+    for (const auto& c : phase1) oracle->offer(c.click_id, c.t_us);
+    DetectorSink osink(*oracle);
+    EXPECT_EQ(slurp(p_snap),
+              snapshot_bytes(osink, "cli_oracle_phase1.snap"))
+        << "primary drain snapshot diverged from the phase-1 oracle";
+  }
+  {
+    auto oracle = build_detector(cfg);
+    for (const auto& c : clicks) oracle->offer(c.click_id, c.t_us);
+    DetectorSink osink(*oracle);
+    EXPECT_EQ(slurp(f_snap), snapshot_bytes(osink, "cli_oracle_full.snap"))
+        << "promoted follower snapshot diverged from the full-stream oracle";
+  }
+}
+
+// A standby felled by SIGTERM (no promotion) drains cleanly and writes a
+// snapshot byte-identical to the primary's — the warm-spare contract.
+TEST(ReplicationCli, StandbySigtermDrainSnapshotMatchesPrimary) {
+  const std::string dir = ::testing::TempDir();
+  const std::string p_log = dir + "/repl_cli2_primary.log";
+  const std::string f_log = dir + "/repl_cli2_follower.log";
+  const std::string p_snap = dir + "/repl_cli2_primary.snap";
+  const std::string f_snap = dir + "/repl_cli2_follower.snap";
+  for (const auto& f : {p_log, f_log, p_snap, f_snap}) std::remove(f.c_str());
+
+  const pid_t primary = spawn_ppcd(
+      {"--listen=127.0.0.1:0", "--replicate-listen=127.0.0.1:0",
+       "--snapshot=" + p_snap},
+      p_log);
+  std::string log = wait_for_marker(p_log, "replicating on", 15'000);
+  ASSERT_FALSE(log.empty()) << slurp(p_log);
+  const std::uint16_t ingest_port = port_after(log, "listening on ");
+  const std::uint16_t repl_port = port_after(log, "replicating on ");
+
+  const pid_t follower = spawn_ppcd(
+      {"--listen=127.0.0.1:0",
+       "--follow=127.0.0.1:" + std::to_string(repl_port),
+       "--snapshot=" + f_snap},
+      f_log);
+  ASSERT_FALSE(wait_for_marker(f_log, "standby on", 15'000).empty())
+      << slurp(f_log);
+
+  const auto clicks = make_clicks(1, 15'000, 222);
+  {
+    BlockingClient client;
+    client.connect("127.0.0.1", ingest_port);
+    client.handshake();
+    std::vector<bool> got;
+    send_and_collect(client, clicks, 512, got);
+    ASSERT_EQ(got.size(), clicks.size());
+  }
+
+  ASSERT_EQ(::kill(primary, SIGTERM), 0);
+  ASSERT_EQ(reap(primary), 0);
+  ASSERT_EQ(::kill(follower, SIGTERM), 0);
+  ASSERT_EQ(reap(follower), 0);
+  log = slurp(f_log);
+  EXPECT_NE(log.find("ppcd: follower drained"), std::string::npos) << log;
+
+  const std::string pb = slurp(p_snap);
+  const std::string fb = slurp(f_snap);
+  ASSERT_FALSE(pb.empty()) << slurp(p_log);
+  EXPECT_EQ(pb, fb) << "standby drain snapshot diverged from the primary's";
+}
+
+}  // namespace
+}  // namespace ppc::server

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "adnet/detector_pool.hpp"
+#include "chaos_proxy.hpp"
 #include "core/sharded_detector.hpp"
 #include "server/client.hpp"
 #include "server/ingest_server.hpp"
@@ -391,6 +392,73 @@ TEST(ServerE2E, MalformedFrameClosesConnectionServerSurvives) {
     ASSERT_EQ(wire_verdicts[i], expected[i]) << "diverged at click " << i;
   }
   EXPECT_GE(server.server().stats().protocol_errors, cases.size());
+}
+
+// Chaos arm: ingest clients arrive through a fault-injecting proxy whose
+// schedule resets connections mid-frame, truncates a CLICK_BATCH half-way
+// through its payload, and stalls a stream mid-click. Every faulted
+// connection just dies from the server's perspective; the server must
+// survive them all and serve a fresh, direct connection bit-exactly.
+TEST(ServerE2E, ChaosFaultedClientsNeverCorruptTheServer) {
+  const DetectorConfig cfg = gbf_config();
+  LoopbackServer server(cfg);
+  ChaosProxy proxy("127.0.0.1", server.port());
+  const std::uint16_t proxy_port = proxy.listen();
+
+  using FK = ChaosProxy::FaultKind;
+  using Dir = ChaosProxy::Direction;
+  const std::vector<ChaosProxy::Fault> schedule = {
+      {FK::kKill, Dir::kClientToServer, 7, 0},       // reset mid-HELLO
+      {FK::kTruncate, Dir::kClientToServer, 40, 0},  // EOF mid-batch header
+      {FK::kTruncate, Dir::kClientToServer, 333, 0}, // EOF mid-payload
+      {FK::kKill, Dir::kServerToClient, 20, 0},      // reset mid-verdicts
+      {FK::kStall, Dir::kClientToServer, 100, 120},  // stall, then finish
+  };
+  for (const auto& f : schedule) proxy.push_fault(f);
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    SCOPED_TRACE("fault " + std::to_string(i));
+    const auto clicks = make_clicks(1, 200, 900 + i);
+    BlockingClient victim;
+    victim.connect("127.0.0.1", proxy_port);
+    try {
+      victim.handshake();
+      std::uint64_t seq = 0;
+      for (std::size_t sent = 0; sent < clicks.size(); sent += 64) {
+        const std::size_t n = std::min<std::size_t>(64, clicks.size() - sent);
+        victim.send_click_batch(
+            seq++,
+            std::span<const wire::ClickRecord>(clicks).subspan(sent, n));
+      }
+      // Read back at most one verdict frame per batch sent — the stalled
+      // connection completes normally and must not leave us blocked on a
+      // link nobody will ever close.
+      wire::FrameView frame;
+      for (std::uint64_t got = 0; got < seq && victim.read_frame(frame);) {
+        if (frame.type == wire::FrameType::kVerdictBatch) ++got;
+      }
+    } catch (const std::runtime_error&) {
+      // Reset / mid-frame close is the expected fate of a faulted link.
+    }
+  }
+  proxy.stop();
+  EXPECT_EQ(proxy.faults_fired(), schedule.size());
+
+  // The server took every fault in stride: a fresh DIRECT connection gets
+  // verdicts bit-identical to a sequential replay. (The faulted clients'
+  // partially-delivered clicks did reach the detector — per-ad isolation
+  // keeps ad 2 unaffected, which is exactly what the oracle checks.)
+  const auto clicks = make_clicks(2, 6'000, 77);
+  BlockingClient good;
+  good.connect("127.0.0.1", server.port());
+  good.handshake();
+  std::vector<bool> wire_verdicts;
+  send_and_collect(good, clicks, 512, wire_verdicts);
+  ASSERT_EQ(wire_verdicts.size(), clicks.size());
+  const auto expected = oracle_verdicts(cfg, clicks);
+  for (std::size_t i = 0; i < clicks.size(); ++i) {
+    ASSERT_EQ(wire_verdicts[i], expected[i]) << "diverged at click " << i;
+  }
 }
 
 // DRAIN flushes every pending click and acks with exact connection totals.

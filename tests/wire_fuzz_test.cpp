@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "server/ingest_server.hpp"
+#include "server/replication.hpp"
 #include "server/wire.hpp"
 #include "stream/rng.hpp"
 
@@ -37,6 +39,50 @@ std::vector<std::uint8_t> sample_click_batch_v2(std::uint32_t count) {
   std::vector<std::uint8_t> out;
   append_click_batch_v2(out, /*seq=*/43, clicks);
   return out;
+}
+
+/// `count` packed ClickRecordV2 wire records — the byte layout the
+/// replication ring retains and REPL_BATCH carries verbatim.
+std::vector<std::uint8_t> packed_v2_records(std::uint32_t count) {
+  std::vector<std::uint8_t> bytes(count * kClickRecordV2Bytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t* p = bytes.data() + i * kClickRecordV2Bytes;
+    set_u32(p, i % 3);
+    set_u64(p + 4, 0xabcd'0000'0000'0000ull + i);
+    set_u64(p + 12, 3'000'000ull + i * 777);
+    set_u32(p + 20, 0xc0a8'0001u + i);
+  }
+  return bytes;
+}
+
+std::vector<std::uint8_t> sample_repl_batch(std::uint32_t count) {
+  const std::vector<std::uint8_t> records = packed_v2_records(count);
+  std::vector<std::uint8_t> out;
+  append_repl_batch(out, /*seq=*/9, count, records.data());
+  return out;
+}
+
+std::vector<std::uint8_t> sample_repl_snapshot() {
+  std::vector<std::uint8_t> chunk(100);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  std::vector<std::uint8_t> out;
+  append_repl_snapshot(out, /*base_seq=*/55, /*chunk_index=*/1,
+                       /*chunk_count=*/3, chunk);
+  return out;
+}
+
+/// Recomputes and overwrites the trailing CRC so a forged body decodes as
+/// a well-formed frame — forcing the TYPED parser (not the framing) to be
+/// the layer that rejects it.
+void rewrap_crc(std::vector<std::uint8_t>& frame) {
+  const std::size_t body_len = frame.size() - kFrameOverhead;
+  const std::uint32_t crc = crc32({frame.data() + 4, body_len});
+  frame[frame.size() - 4] = static_cast<std::uint8_t>(crc);
+  frame[frame.size() - 3] = static_cast<std::uint8_t>(crc >> 8);
+  frame[frame.size() - 2] = static_cast<std::uint8_t>(crc >> 16);
+  frame[frame.size() - 1] = static_cast<std::uint8_t>(crc >> 24);
 }
 
 /// Every frame type once, concatenated — the corpus the mutations start
@@ -100,6 +146,18 @@ std::vector<std::vector<std::uint8_t>> corpus() {
     append_stats_ack(f, report);
     frames.push_back(f);
   }
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_hello(f, /*next_seq=*/123);
+    frames.push_back(f);
+  }
+  frames.push_back(sample_repl_batch(11));
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_ack(f, /*seq=*/122);
+    frames.push_back(f);
+  }
+  frames.push_back(sample_repl_snapshot());
   return frames;
 }
 
@@ -185,6 +243,25 @@ DecodeStatus check_decode(const std::vector<std::uint8_t>& buf) {
       StatsReport stats;
       (void)parse_stats(frame.payload, err);
       (void)parse_stats_ack(frame.payload, stats, err);
+      (void)parse_repl_hello(frame.payload, a, err);
+      (void)parse_repl_ack(frame.payload, a, err);
+      ReplBatchView repl;
+      if (parse_repl_batch(frame.payload, repl, err)) {
+        // The follower deinterleaves straight out of this view — the
+        // record span must lie inside the buffer on every accepted parse.
+        EXPECT_GE(repl.records, begin);
+        EXPECT_LE(repl.records + repl.count * kClickRecordV2Bytes, end);
+        for (std::uint32_t i = 0; i < repl.count; ++i) {
+          (void)repl.record(i);
+        }
+      }
+      ReplSnapshotView snap;
+      if (parse_repl_snapshot(frame.payload, snap, err)) {
+        if (!snap.chunk.empty()) {
+          EXPECT_GE(snap.chunk.data(), begin);
+          EXPECT_LE(snap.chunk.data() + snap.chunk.size(), end);
+        }
+      }
       break;
     }
     case DecodeStatus::kError:
@@ -247,9 +324,9 @@ TEST(WireFuzz, OversizedLengthPrefixIsRejectedNotBuffered) {
 }
 
 TEST(WireFuzz, UnknownFrameTypeIsRejected) {
-  // 12 is the first unassigned type id (11 = CLICK_BATCH_V2 is the last
+  // 16 is the first unassigned type id (15 = REPL_SNAPSHOT is the last
   // valid).
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{12},
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{16},
                                   std::uint8_t{0x7f}, std::uint8_t{0xff}}) {
     std::vector<std::uint8_t> body{type, 1, 2, 3};
     std::vector<std::uint8_t> buf;
@@ -551,6 +628,280 @@ TEST(WireFuzz, VerdictBitmapRoundTrip) {
       EXPECT_EQ(view.duplicate(i), verdicts[i]) << "bit " << i;
     }
   }
+}
+
+void poke_u32(std::vector<std::uint8_t>& buf, std::size_t off,
+              std::uint32_t v) {
+  buf[off] = static_cast<std::uint8_t>(v);
+  buf[off + 1] = static_cast<std::uint8_t>(v >> 8);
+  buf[off + 2] = static_cast<std::uint8_t>(v >> 16);
+  buf[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void poke_u64(std::vector<std::uint8_t>& buf, std::size_t off,
+              std::uint64_t v) {
+  poke_u32(buf, off, static_cast<std::uint32_t>(v));
+  poke_u32(buf, off + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+TEST(WireFuzz, ReplHelloAndAckRejectBadSizesWithNamedErrors) {
+  std::uint64_t seq = 0;
+  std::string error;
+  for (const std::size_t n : {0u, 1u, 4u, 7u, 9u, 16u}) {
+    const std::vector<std::uint8_t> bad(n, 0x5a);
+    error.clear();
+    EXPECT_FALSE(parse_repl_hello(bad, seq, error)) << "size " << n;
+    EXPECT_NE(error.find("REPL_HELLO"), std::string::npos) << error;
+    error.clear();
+    EXPECT_FALSE(parse_repl_ack(bad, seq, error)) << "size " << n;
+    EXPECT_NE(error.find("REPL_ACK"), std::string::npos) << error;
+  }
+  // A zero cursor is structurally 8 bytes but semantically impossible —
+  // sequences start at 1 — and must be named as such.
+  const std::vector<std::uint8_t> zeros(8, 0);
+  error.clear();
+  EXPECT_FALSE(parse_repl_hello(zeros, seq, error));
+  EXPECT_NE(error.find("next_seq 0"), std::string::npos) << error;
+  // REPL_ACK 0 is legal: a fresh follower that has applied nothing.
+  EXPECT_TRUE(parse_repl_ack(zeros, seq, error));
+  EXPECT_EQ(seq, 0u);
+}
+
+TEST(WireFuzz, ReplBatchForgedSeqAndCountAreRejectedByParserNotFraming) {
+  // Rewrite the embedded sequence/count and REWRAP the CRC: framing stays
+  // intact, so only the typed parser's field checks stand between a forged
+  // ring entry and the follower's sink.
+  const std::vector<std::uint8_t> frame = sample_repl_batch(8);
+  struct Forgery {
+    bool is_count;
+    std::uint64_t value;
+    const char* named;
+  };
+  const Forgery forgeries[] = {
+      {false, 0, "seq 0"},
+      {true, 0, "count 0"},
+      {true, 7, "disagrees with payload size"},
+      {true, 9, "disagrees with payload size"},
+      {true, kMaxClicksPerBatch + 1, "exceeds cap"},
+      {true, 0xffffffffu, "exceeds cap"},
+  };
+  for (const auto& forged : forgeries) {
+    std::vector<std::uint8_t> mutated = frame;
+    // Layout: len(4) type(1) seq(8) count(4) records…
+    if (forged.is_count) {
+      poke_u32(mutated, 13, static_cast<std::uint32_t>(forged.value));
+    } else {
+      poke_u64(mutated, 5, forged.value);
+    }
+    rewrap_crc(mutated);
+    FrameView view;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(decode_frame(mutated, view, consumed, error),
+              DecodeStatus::kFrame);
+    ReplBatchView batch;
+    EXPECT_FALSE(parse_repl_batch(view.payload, batch, error))
+        << "forged " << (forged.is_count ? "count " : "seq ") << forged.value
+        << " accepted";
+    EXPECT_NE(error.find(forged.named), std::string::npos)
+        << "error \"" << error << "\" does not name the forged field";
+  }
+}
+
+TEST(WireFuzz, ReplSnapshotForgedHeaderIsRejectedByParserNotFraming) {
+  const std::vector<std::uint8_t> frame = sample_repl_snapshot();
+  struct Forgery {
+    std::size_t off;  ///< base_seq@5, chunk_index@13, chunk_count@17
+    bool is_u64;
+    std::uint64_t value;
+    const char* named;
+  };
+  const Forgery forgeries[] = {
+      {5, true, 0, "base_seq 0"},
+      {17, false, 0, "chunk_count 0"},
+      {17, false, kMaxReplSnapshotChunks + 1, "exceeds cap"},
+      {13, false, 3, "out of range"},   // chunk_index == chunk_count
+      {13, false, 99, "out of range"},  // far past it
+  };
+  for (const auto& forged : forgeries) {
+    std::vector<std::uint8_t> mutated = frame;
+    if (forged.is_u64) {
+      poke_u64(mutated, forged.off, forged.value);
+    } else {
+      poke_u32(mutated, forged.off,
+               static_cast<std::uint32_t>(forged.value));
+    }
+    rewrap_crc(mutated);
+    FrameView view;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(decode_frame(mutated, view, consumed, error),
+              DecodeStatus::kFrame);
+    ReplSnapshotView snap;
+    EXPECT_FALSE(parse_repl_snapshot(view.payload, snap, error))
+        << "forged header field at offset " << forged.off << " accepted";
+    EXPECT_NE(error.find(forged.named), std::string::npos)
+        << "error \"" << error << "\" does not name the forged field";
+  }
+}
+
+/// Minimal sink for driving a ReplicationApplier directly: counts what it
+/// is offered and flags nothing.
+class CountingSink final : public ClickSink {
+ public:
+  void offer(std::span<const std::uint32_t>, std::span<const core::ClickId>,
+             std::span<const std::uint64_t> times,
+             std::span<bool> out) override {
+    clicks += times.size();
+    std::fill(out.begin(), out.end(), false);
+  }
+  std::string describe() const override { return "counting"; }
+  std::uint64_t clicks = 0;
+};
+
+std::uint64_t apply_frame(ReplicationApplier& applier,
+                          const std::vector<std::uint8_t>& frame,
+                          std::string& error) {
+  FrameView view;
+  std::size_t consumed = 0;
+  std::string decode_err;
+  EXPECT_EQ(decode_frame(frame, view, consumed, decode_err),
+            DecodeStatus::kFrame)
+      << decode_err;
+  return applier.on_frame(view.type, view.payload, error) ? 1 : 0;
+}
+
+TEST(WireFuzz, ReplApplierRefusesProtocolViolationsAtNamedFields) {
+  // The applier is the layer BEHIND the parser: frames that are perfectly
+  // well-formed on the wire must still be refused when they violate the
+  // replication state machine — and every refusal must leave the cursor at
+  // its last consistent value.
+  CountingSink sink;
+  ReplicationApplier applier(sink);
+  std::string error;
+
+  // Two legitimate batches advance the cursor to 3.
+  const std::vector<std::uint8_t> records = packed_v2_records(4);
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    std::vector<std::uint8_t> f;
+    append_repl_batch(f, seq, 4, records.data());
+    ASSERT_EQ(apply_frame(applier, f, error), 1u) << error;
+  }
+  EXPECT_EQ(applier.next_seq(), 3u);
+  EXPECT_EQ(sink.clicks, 8u);
+
+  // A gap (seq 5) and a replay (seq 2) are both refused by sequence.
+  for (const std::uint64_t forged_seq : {5ull, 2ull}) {
+    std::vector<std::uint8_t> f;
+    append_repl_batch(f, forged_seq, 4, records.data());
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("REPL_BATCH seq " + std::to_string(forged_seq) +
+                         ", expected 3"),
+              std::string::npos)
+        << error;
+    EXPECT_EQ(applier.next_seq(), 3u);
+    EXPECT_EQ(sink.clicks, 8u);
+  }
+
+  // A snapshot may not rewind the cursor.
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/2, 0, 2, records);
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("base_seq 2 behind applier cursor 3"),
+              std::string::npos)
+        << error;
+  }
+  // A transfer may not start mid-stream.
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/10, 1, 2, records);
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("begins at chunk 1"), std::string::npos) << error;
+  }
+
+  // Open a transfer, then violate it three ways: a batch mid-transfer, a
+  // header change, and an out-of-order chunk. Each refusal names its field;
+  // the first two also abandon the transfer.
+  const auto open_transfer = [&] {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/10, 0, 3, records);
+    error.clear();
+    ASSERT_EQ(apply_frame(applier, f, error), 1u) << error;
+    ASSERT_TRUE(applier.in_snapshot());
+  };
+  open_transfer();
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_batch(f, 3, 4, records.data());
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("during a snapshot transfer"), std::string::npos)
+        << error;
+    applier.reset_transfer();  // what the follower does on any refusal
+  }
+  open_transfer();
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/11, 1, 3, records);
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("header changed mid-transfer"), std::string::npos)
+        << error;
+    EXPECT_FALSE(applier.in_snapshot());  // self-resetting refusal
+  }
+  open_transfer();
+  {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/10, 2, 3, records);
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("chunk_index 2, expected 1"), std::string::npos)
+        << error;
+    EXPECT_FALSE(applier.in_snapshot());
+  }
+
+  // A completed transfer of garbage bytes fails envelope validation; the
+  // cursor must NOT jump to the forged base_seq.
+  open_transfer();
+  for (std::uint32_t chunk = 1; chunk <= 2; ++chunk) {
+    std::vector<std::uint8_t> f;
+    append_repl_snapshot(f, /*base_seq=*/10, chunk, 3, records);
+    error.clear();
+    const std::uint64_t ok = apply_frame(applier, f, error);
+    if (chunk < 2) {
+      EXPECT_EQ(ok, 1u) << error;
+    } else {
+      EXPECT_EQ(ok, 0u);
+      EXPECT_NE(error.find("REPL_SNAPSHOT restore failed"),
+                std::string::npos)
+          << error;
+    }
+  }
+  EXPECT_EQ(applier.next_seq(), 3u);
+  EXPECT_EQ(applier.snapshots_applied(), 0u);
+
+  // Ingest/control frames have no business on a replication connection.
+  {
+    std::vector<std::uint8_t> f;
+    append_ping(f, 1);
+    error.clear();
+    EXPECT_EQ(apply_frame(applier, f, error), 0u);
+    EXPECT_NE(error.find("unexpected frame PING"), std::string::npos)
+        << error;
+  }
+
+  // After every refusal above, the applier still accepts the batch the
+  // cursor actually expects — refusals are rejections, not corruption.
+  std::vector<std::uint8_t> f;
+  append_repl_batch(f, 3, 4, records.data());
+  error.clear();
+  EXPECT_EQ(apply_frame(applier, f, error), 1u) << error;
+  EXPECT_EQ(applier.next_seq(), 4u);
+  EXPECT_EQ(sink.clicks, 12u);
 }
 
 }  // namespace

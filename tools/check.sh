@@ -17,9 +17,12 @@
 #      thread vs client threads), durability_test (snapshot save/restore
 #      quiesces engine owner threads and drives full daemon restarts),
 #      adnet_extra_test (DetectorPool evict racing offer_batch),
-#      tiered_pool_test (the mutex-serialized tiered pool), and
+#      tiered_pool_test (the mutex-serialized tiered pool),
 #      enforce_test (the EnforcingSink loopback e2e: event loop vs
-#      client thread with the reputation ledger in the offer path) — so
+#      client thread with the reputation ledger in the offer path), and
+#      replication_test (the warm-standby fault-injection harness:
+#      primary event loop vs replication source session threads vs the
+#      follower pump, reconnecting through chaos-proxy faults) — so
 #      every PR touching the parallel ingestion paths gets a race check;
 #      the engine-sensitive ones run under TSan in both engine defaults
 #      (the e2e and durability binaries include the multi-loop fixtures,
@@ -38,12 +41,13 @@ TSAN_ONLY=0
 TSAN_TESTS=(sharded_test runtime_test parallel_batch_test batch_times_test
             spsc_ring_test engine_equivalence_test wire_fuzz_test
             server_e2e_test durability_test apbf_test conformance_test
-            adnet_extra_test tiered_pool_test enforce_test)
+            adnet_extra_test tiered_pool_test enforce_test replication_test)
 # Tests whose ShardedDetectors default to kAuto and therefore change
 # behaviour under PPC_ENGINE_DEFAULT=ON (the rest construct their mode
 # explicitly or don't touch ShardedDetector at all).
 ENGINE_SENSITIVE_TESTS=(sharded_test parallel_batch_test batch_times_test
-                        server_e2e_test durability_test conformance_test)
+                        server_e2e_test durability_test conformance_test
+                        replication_test)
 
 if [[ "$TSAN_ONLY" == 0 ]]; then
   echo "== tier-1: build + ctest =="

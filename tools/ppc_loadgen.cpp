@@ -20,6 +20,21 @@
 // owns its ad (hence its detector) the comparison is exact regardless of
 // how connections interleave on the server. The DRAIN_ACK totals are
 // cross-checked too. Any mismatch exits nonzero.
+//
+// --v2=on switches to the source-attributed wire: a v2 handshake and
+// CLICK_BATCH_V2 frames carrying deterministic per-click source IPs (a
+// fifth of each connection's clicks come from 3 "attacker" sources with a
+// tiny duplicate-heavy identifier pool; sources are disjoint across
+// connections). --verify-enforce=SPEC (implies --v2) additionally wraps
+// the oracle in the same EnforcingSink + ReputationLedger ppcd builds for
+// --enforce=SPEC, covering the wire-rejection path end to end. It requires
+// --connections=1 (the ledger's Space-Saving offender sketch is GLOBAL —
+// its count−error evidence bounds depend on every source the daemon has
+// seen, so a per-connection replay of a shared ledger is not bit-exact
+// once connections interleave) and --inflight=1 (EnforcingSink decides a
+// whole offer batch before observing any of it, so verdicts depend on
+// offer boundaries; lock-step pins the daemon to one wire frame per
+// offer, matching the oracle's chunking).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,11 +43,15 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "enforce/reputation_ledger.hpp"
 #include "server/client.hpp"
+#include "server/enforcing_sink.hpp"
+#include "server/ingest_server.hpp"
 #include "server/server_config.hpp"
 #include "stream/click.hpp"
 #include "stream/generators.hpp"
@@ -59,6 +78,13 @@ namespace {
       "                       connections across N SO_REUSEPORT loops and\n"
       "                       report per-connection RTT skew (warns instead\n"
       "                       of failing on 1-core hosts)\n"
+      "  --v2=on|off          source-attributed CLICK_BATCH_V2 wire\n"
+      "                       (default off)\n"
+      "  --verify-enforce=SPEC verify against an enforcement oracle built\n"
+      "                       from the same spec as ppcd --enforce=SPEC\n"
+      "                       (implies --v2=on; requires --connections=1\n"
+      "                       and --inflight=1, the defaults in this mode;\n"
+      "                       point it at a daemon running the same spec)\n"
       "  --window=SPEC --memory-mib=M --hashes=K --backend=B --shards=S\n"
       "  --owners=T --engine=auto|on|off\n"
       "                       mirror of the ppcd detector flags (oracle)\n",
@@ -95,6 +121,45 @@ std::uint64_t flag_u64(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : std::stoull(it->second);
 }
 
+/// "k=v,k=v" → EnforcementPolicy — the SAME grammar ppcd's --enforce flag
+/// speaks, so one spec string drives both the daemon and this oracle.
+/// "on"/"1" keeps every default.
+enforce::EnforcementPolicy parse_enforce_spec(const std::string& spec) {
+  enforce::EnforcementPolicy p;
+  if (spec == "on" || spec == "1") return p;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--verify-enforce: expected k=v, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "flag-rate") p.flag_rate = std::stod(value);
+    else if (key == "discount-rate") p.discount_rate = std::stod(value);
+    else if (key == "block-rate") p.block_rate = std::stod(value);
+    else if (key == "flag-min") p.flag_min_duplicates = std::stoull(value);
+    else if (key == "discount-min") p.discount_min_duplicates = std::stoull(value);
+    else if (key == "block-min") p.block_min_duplicates = std::stoull(value);
+    else if (key == "blatant-rate") p.blatant_rate = std::stod(value);
+    else if (key == "blatant-min") p.blatant_min_duplicates = std::stoull(value);
+    else if (key == "demote-ratio") p.demote_ratio = std::stod(value);
+    else if (key == "half-life-us") p.score_half_life_us = std::stoull(value);
+    else if (key == "ttl-us") p.block_ttl_us = std::stoull(value);
+    else if (key == "rate-alpha") p.rate_alpha = std::stod(value);
+    else if (key == "min-clicks") p.min_clicks = std::stoull(value);
+    else if (key == "max-sources") p.max_sources = std::stoull(value);
+    else if (key == "by-publisher") p.key_by_publisher = value == "1" || value == "true";
+    else throw std::invalid_argument("--verify-enforce: unknown key '" + key + "'");
+  }
+  return p;
+}
+
 /// The deterministic click stream for one connection: Zipf users clicking
 /// the connection's own ad. Both the wire path and the oracle replay call
 /// this, so they see byte-identical (id, t_us) sequences.
@@ -113,6 +178,35 @@ std::vector<wire::ClickRecord> make_clicks(std::uint32_t connection,
   return clicks;
 }
 
+/// The v2 stream: same (ad, id, t) base as make_clicks, plus a
+/// deterministic source column. Every 5th click comes from one of 3
+/// attacker sources and draws its identifier from a 16-id pool — a
+/// duplicate rate no honest Zipf source approaches, so an aggressive
+/// --enforce spec escalates exactly those sources. Source values embed the
+/// connection index, keeping every connection's sources disjoint (which is
+/// what makes the per-connection enforcement oracle exact).
+std::vector<wire::ClickRecordV2> make_clicks_v2(std::uint32_t connection,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  stream::MixedTrafficStream::Options opts;
+  opts.seed = seed + connection;
+  stream::MixedTrafficStream gen(opts);
+  std::vector<wire::ClickRecordV2> clicks(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream::Click c = gen.next();
+    c.ad_id = connection;
+    wire::ClickRecordV2& rec = clicks[i];
+    rec = {c.ad_id, stream::click_identifier(c), c.time_us, 0};
+    if (i % 5 == 0) {
+      rec.source_ip = 0x0a00'0000u | (connection << 8) | (i % 3);
+      rec.click_id = 0xbad0'0000'0000'0000ull | (connection << 8) | (i % 16);
+    } else {
+      rec.source_ip = 0x6400'0000u | (connection << 8) | (i % 32);
+    }
+  }
+  return clicks;
+}
+
 struct ConnResult {
   std::uint64_t clicks = 0;
   std::uint64_t duplicates = 0;
@@ -126,6 +220,7 @@ struct ConnResult {
 
 void run_connection(std::uint32_t index, const std::string& host,
                     std::uint16_t port, const std::vector<wire::ClickRecord>& clicks,
+                    const std::vector<wire::ClickRecordV2>* clicks_v2,
                     std::size_t batch, std::size_t inflight, int sndbuf,
                     ConnResult& out) {
   try {
@@ -137,12 +232,15 @@ void run_connection(std::uint32_t index, const std::string& host,
       client.set_rcvbuf(sndbuf);
     }
     client.connect(host, port);
-    client.handshake();
+    client.handshake(clicks_v2 != nullptr ? wire::kProtocolVersionV2
+                                          : wire::kProtocolVersion);
     out.loop_id = client.loop_id();
 
-    const std::size_t total_batches = (clicks.size() + batch - 1) / batch;
+    const std::size_t total =
+        clicks_v2 != nullptr ? clicks_v2->size() : clicks.size();
+    const std::size_t total_batches = (total + batch - 1) / batch;
     out.rtt_us.reserve(total_batches);
-    out.verdicts.reserve(clicks.size());
+    out.verdicts.reserve(total);
     std::vector<std::chrono::steady_clock::time_point> sent_at(total_batches);
     std::uint64_t next_send = 0;
     std::uint64_t next_recv = 0;
@@ -179,10 +277,16 @@ void run_connection(std::uint32_t index, const std::string& host,
     while (next_send < total_batches) {
       while (next_send - next_recv >= inflight) recv_one();
       const std::size_t off = next_send * batch;
-      const std::size_t n = std::min(batch, clicks.size() - off);
+      const std::size_t n = std::min(batch, total - off);
       sent_at[next_send] = std::chrono::steady_clock::now();
-      client.send_click_batch(
-          next_send, std::span<const wire::ClickRecord>(&clicks[off], n));
+      if (clicks_v2 != nullptr) {
+        client.send_click_batch_v2(
+            next_send,
+            std::span<const wire::ClickRecordV2>(&(*clicks_v2)[off], n));
+      } else {
+        client.send_click_batch(
+            next_send, std::span<const wire::ClickRecord>(&clicks[off], n));
+      }
       ++next_send;
     }
     while (next_recv < total_batches) recv_one();
@@ -226,15 +330,32 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(flag_u64(flags, "connections", 4));
     const std::uint64_t total_clicks = flag_u64(flags, "clicks", 1'000'000);
     const std::size_t batch = flag_u64(flags, "batch", 1024);
+    // --verify-enforce defaults inflight to 1 (and rejects more below):
+    // enforcement verdicts are batch-scoped, see the check after parsing.
+    const std::string enforce_spec = flag(flags, "verify-enforce", "");
     const std::size_t inflight = std::max<std::uint64_t>(
-        1, flag_u64(flags, "inflight", 4));
+        1, flag_u64(flags, "inflight", enforce_spec.empty() ? 4 : 1));
     const std::uint64_t seed = flag_u64(flags, "seed", 1);
     const bool verify = flag(flags, "verify", "on") == "on";
+    const bool v2 = flag(flags, "v2", "off") == "on" || !enforce_spec.empty();
     const int sndbuf = static_cast<int>(flag_u64(flags, "sndbuf", 0));
     const std::uint64_t expected_loops = flag_u64(flags, "loops", 0);
     if (connections == 0 || batch == 0 ||
         batch > wire::kMaxClicksPerBatch) {
       usage(argv[0]);
+    }
+    if (!enforce_spec.empty() && (connections != 1 || inflight != 1)) {
+      // Two exactness preconditions. Connections: the ledger's
+      // Space-Saving offender sketch is global, so its evidence bounds
+      // couple every source the daemon sees — only a single connection
+      // replays a shared ledger bit-exactly. Inflight: EnforcingSink
+      // decides a whole offer batch before observing any of it, so
+      // verdicts depend on offer boundaries — lock-step keeps the daemon
+      // at exactly one wire frame per offer, matching the oracle's.
+      std::fprintf(stderr,
+                   "ppc_loadgen: --verify-enforce requires --connections=1 "
+                   "and --inflight=1\n");
+      return 2;
     }
 
     server::DetectorConfig cfg;
@@ -263,8 +384,13 @@ int main(int argc, char** argv) {
                 inflight, static_cast<unsigned long long>(seed), host.c_str(),
                 port);
     std::vector<std::vector<wire::ClickRecord>> streams(connections);
+    std::vector<std::vector<wire::ClickRecordV2>> streams_v2(connections);
     for (std::uint32_t c = 0; c < connections; ++c) {
-      streams[c] = make_clicks(c, per_conn, seed);
+      if (v2) {
+        streams_v2[c] = make_clicks_v2(c, per_conn, seed);
+      } else {
+        streams[c] = make_clicks(c, per_conn, seed);
+      }
     }
 
     std::vector<ConnResult> results(connections);
@@ -274,8 +400,9 @@ int main(int argc, char** argv) {
       threads.reserve(connections);
       for (std::uint32_t c = 0; c < connections; ++c) {
         threads.emplace_back(run_connection, c, host, port,
-                             std::cref(streams[c]), batch, inflight, sndbuf,
-                             std::ref(results[c]));
+                             std::cref(streams[c]),
+                             v2 ? &streams_v2[c] : nullptr, batch, inflight,
+                             sndbuf, std::ref(results[c]));
       }
       for (auto& t : threads) t.join();
     }
@@ -383,23 +510,78 @@ int main(int argc, char** argv) {
 
     if (verify) {
       std::uint64_t mismatches = 0;
+      std::uint64_t oracle_rejected = 0;
       for (std::uint32_t c = 0; c < connections; ++c) {
-        const auto oracle = server::build_detector(cfg);
-        const auto& stream = streams[c];
         const auto& got = results[c].verdicts;
-        for (std::size_t i = 0; i < stream.size(); ++i) {
-          const bool expected =
-              oracle->offer(stream[i].click_id, stream[i].t_us);
-          if (i < got.size() && (got[i] != 0) != expected) {
-            if (mismatches < 5) {
-              std::fprintf(stderr,
-                           "ppc_loadgen: verdict mismatch conn %u click %zu: "
-                           "wire=%d oracle=%d\n",
-                           c, i, got[i], expected ? 1 : 0);
+        if (!enforce_spec.empty()) {
+          // Enforcement oracle: the exact sink stack ppcd builds for
+          // --enforce=SPEC (single-connection mode, so this replay sees
+          // the identical click order the daemon's shared ledger saw).
+          const auto detector = server::build_detector(cfg);
+          server::DetectorSink base(*detector);
+          enforce::ReputationLedger ledger(parse_enforce_spec(enforce_spec));
+          server::EnforcingSink oracle_sink(base, ledger);
+          const auto& stream = streams_v2[c];
+          std::vector<std::uint32_t> ads(batch), sources(batch);
+          std::vector<core::ClickId> ids(batch);
+          std::vector<std::uint64_t> times(batch);
+          std::vector<char> expected(batch);
+          for (std::size_t off = 0; off < stream.size(); off += batch) {
+            const std::size_t n = std::min(batch, stream.size() - off);
+            for (std::size_t i = 0; i < n; ++i) {
+              const wire::ClickRecordV2& rec = stream[off + i];
+              ads[i] = rec.ad_id;
+              ids[i] = rec.click_id;
+              times[i] = rec.t_us;
+              sources[i] = rec.source_ip;
             }
-            ++mismatches;
+            oracle_sink.offer_with_sources(
+                {ads.data(), n}, {ids.data(), n}, {times.data(), n},
+                {sources.data(), n},
+                {reinterpret_cast<bool*>(expected.data()), n});
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::size_t pos = off + i;
+              if (pos < got.size() && (got[pos] != 0) != (expected[i] != 0)) {
+                if (mismatches < 5) {
+                  std::fprintf(
+                      stderr,
+                      "ppc_loadgen: verdict mismatch conn %u click %zu: "
+                      "wire=%d enforce-oracle=%d\n",
+                      c, pos, got[pos], expected[i] != 0 ? 1 : 0);
+                }
+                ++mismatches;
+              }
+            }
+          }
+          oracle_rejected += oracle_sink.rejected();
+        } else {
+          const auto oracle = server::build_detector(cfg);
+          const std::size_t count =
+              v2 ? streams_v2[c].size() : streams[c].size();
+          for (std::size_t i = 0; i < count; ++i) {
+            // A non-enforcing daemon ignores the v2 source column, so the
+            // plain detector oracle covers both wire dialects.
+            const auto [id, t] =
+                v2 ? std::pair{streams_v2[c][i].click_id,
+                               streams_v2[c][i].t_us}
+                   : std::pair{streams[c][i].click_id, streams[c][i].t_us};
+            const bool expected = oracle->offer(id, t);
+            if (i < got.size() && (got[i] != 0) != expected) {
+              if (mismatches < 5) {
+                std::fprintf(stderr,
+                             "ppc_loadgen: verdict mismatch conn %u click %zu: "
+                             "wire=%d oracle=%d\n",
+                             c, i, got[i], expected ? 1 : 0);
+              }
+              ++mismatches;
+            }
           }
         }
+      }
+      if (!enforce_spec.empty()) {
+        std::printf("ppc_loadgen: enforce oracle rejected %llu click(s) at "
+                    "the wire\n",
+                    static_cast<unsigned long long>(oracle_rejected));
       }
       if (mismatches != 0) {
         std::fprintf(stderr,

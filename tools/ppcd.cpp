@@ -45,6 +45,16 @@
 // per tier transition as it happens. With --enforce, --snapshot/--restore
 // carry the ledger alongside the window state (composed format — a
 // snapshot written without --enforce is refused on restore with it).
+//
+// Replication: --replicate-listen=HOST:PORT makes this daemon a primary —
+// every accepted click batch is retained in a bounded sequence-numbered
+// ring and streamed to followers over the framed protocol (REPL_* frames,
+// version 3); a follower that falls behind the ring receives a chunked
+// snapshot instead. --follow=HOST:PORT makes this daemon a warm standby:
+// it builds the SAME sink configuration, replays the primary's stream
+// through it (state bit-identical by construction), and holds its ingest
+// listener in standby until SIGUSR1 promotes it to serve client traffic;
+// SIGTERM during standby drains gracefully (writing --snapshot if set).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +73,7 @@
 #include "server/client.hpp"
 #include "server/enforcing_sink.hpp"
 #include "server/ingest_server.hpp"
+#include "server/replication.hpp"
 #include "server/server_config.hpp"
 
 using namespace ppc;
@@ -124,7 +135,19 @@ namespace {
       "                       PATH and an nft-loadable set to PATH.nft at\n"
       "                       graceful drain\n"
       "  --journal=PATH       with --enforce: append one line per tier\n"
-      "                       transition (flushed as it happens)\n",
+      "                       transition (flushed as it happens)\n"
+      "  --replicate-listen=HOST:PORT\n"
+      "                       primary: stream accepted batches to followers\n"
+      "                       from this address (REPL_* frames, protocol 3)\n"
+      "  --repl-ring-batches=N / --repl-ring-mib=M\n"
+      "                       primary: replication ring bounds (default\n"
+      "                       4096 batches / 256 MiB); followers behind the\n"
+      "                       ring catch up via a snapshot transfer\n"
+      "  --follow=HOST:PORT   warm standby: replay the primary's stream\n"
+      "                       through an identically configured sink;\n"
+      "                       SIGUSR1 promotes (starts serving clients),\n"
+      "                       SIGTERM drains (excludes --restore — the\n"
+      "                       follower catches up from the primary)\n",
       argv0);
   std::exit(2);
 }
@@ -209,17 +232,28 @@ void handle_signal(int /*signum*/) {
   if (g_server != nullptr) g_server->stop();  // one eventfd write: safe here
 }
 
+// Standby-mode signals only set flags: the event loops are not running
+// yet, so there is nothing to stop() — the standby wait loop polls these.
+volatile std::sig_atomic_t g_promote = 0;
+volatile std::sig_atomic_t g_standby_stop = 0;
+void handle_promote(int /*signum*/) { g_promote = 1; }
+void handle_standby_stop(int /*signum*/) { g_standby_stop = 1; }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv);
   try {
-    const std::string listen = flag(flags, "listen", "127.0.0.1:4817");
-    const auto colon = listen.rfind(':');
-    if (colon == std::string::npos) usage(argv[0]);
-    const std::string host = listen.substr(0, colon);
-    const auto port = static_cast<std::uint16_t>(
-        std::stoul(listen.substr(colon + 1)));
+    const auto parse_hostport =
+        [argv](const std::string& spec) -> std::pair<std::string,
+                                                     std::uint16_t> {
+      const auto colon = spec.rfind(':');
+      if (colon == std::string::npos) usage(argv[0]);
+      return {spec.substr(0, colon),
+              static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)))};
+    };
+    const auto [host, port] =
+        parse_hostport(flag(flags, "listen", "127.0.0.1:4817"));
 
     server::DetectorConfig cfg;
     cfg.window = server::parse_window_spec(
@@ -331,7 +365,34 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Replication roles. A node is a primary (--replicate-listen) or a
+    // standby (--follow), never both: a promoted standby has applied
+    // clicks that never went through its own ingest flush path, so its
+    // ring could not serve a second-tier follower faithfully.
+    const std::string repl_listen = flag(flags, "replicate-listen", "");
+    const std::string follow = flag(flags, "follow", "");
+    if (!repl_listen.empty() && !follow.empty()) {
+      std::fprintf(stderr,
+                   "ppcd: --replicate-listen and --follow are mutually "
+                   "exclusive (a node is a primary or a standby)\n");
+      return 2;
+    }
+    if ((flags.contains("repl-ring-batches") ||
+         flags.contains("repl-ring-mib")) &&
+        repl_listen.empty()) {
+      std::fprintf(stderr,
+                   "ppcd: --repl-ring-* require --replicate-listen\n");
+      return 2;
+    }
+
     const std::string restore_path = flag(flags, "restore", "");
+    if (!follow.empty() && !restore_path.empty()) {
+      std::fprintf(stderr,
+                   "ppcd: --follow excludes --restore: the follower "
+                   "catches up from the primary (ring replay or snapshot "
+                   "transfer), seeding it locally would fork the state\n");
+      return 2;
+    }
     if (!restore_path.empty()) {
       server::IngestServer::restore_sink_snapshot(*active, restore_path);
       std::printf("ppcd: restored window state from %s\n",
@@ -339,12 +400,73 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
 
+    std::unique_ptr<server::ReplicationLog> repl_log;
+    if (!repl_listen.empty()) {
+      server::ReplicationLog::Options ro;
+      ro.max_batches = flag_u64(flags, "repl-ring-batches", 4096);
+      ro.max_bytes = flag_u64(flags, "repl-ring-mib", 256) << 20;
+      repl_log = std::make_unique<server::ReplicationLog>(ro);
+      opts.replication = repl_log.get();
+    }
+
     server::IngestServer srv(*active, opts);
     const std::uint16_t bound = srv.listen(host, port);
     g_server = &srv;
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Warm-standby phase: replay the primary's stream until a signal
+    // resolves this daemon's fate. The ingest listener above is already
+    // bound — clients that connect early queue in the accept backlog and
+    // are served the moment the promoted loops start.
+    std::unique_ptr<server::ReplicationApplier> applier;
+    if (!follow.empty()) {
+      const auto [fhost, fport] = parse_hostport(follow);
+      applier = std::make_unique<server::ReplicationApplier>(*active);
+      server::ReplicationFollower repl_follower(fhost, fport, *applier);
+      std::signal(SIGUSR1, handle_promote);
+      std::signal(SIGINT, handle_standby_stop);
+      std::signal(SIGTERM, handle_standby_stop);
+      std::printf("ppcd: standby on %s:%u following %s:%u — sink=%s "
+                  "(SIGUSR1 promotes)\n",
+                  host.c_str(), bound, fhost.c_str(), fport,
+                  active->describe().c_str());
+      std::fflush(stdout);
+      repl_follower.start();
+      while (g_promote == 0 && g_standby_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      repl_follower.stop();
+      if (g_standby_stop != 0) {
+        // Graceful standby drain: everything applied is consistent (the
+        // applier stops between batches), so the snapshot is as valid as
+        // a primary's drain snapshot at the same sequence.
+        if (!opts.snapshot_path.empty()) {
+          server::IngestServer::save_sink_snapshot(*active,
+                                                   opts.snapshot_path);
+          std::printf("ppcd: snapshot written to %s\n",
+                      opts.snapshot_path.c_str());
+        }
+        std::printf(
+            "ppcd: follower drained. applied_seq=%llu clicks=%llu "
+            "batches=%llu snapshots=%llu reconnects=%llu\n",
+            static_cast<unsigned long long>(applier->next_seq() - 1),
+            static_cast<unsigned long long>(applier->clicks_applied()),
+            static_cast<unsigned long long>(applier->batches_applied()),
+            static_cast<unsigned long long>(applier->snapshots_applied()),
+            static_cast<unsigned long long>(repl_follower.reconnects()));
+        return 0;
+      }
+      std::printf("ppcd: promoted — applied_seq=%llu clicks=%llu "
+                  "snapshots=%llu reconnects=%llu\n",
+                  static_cast<unsigned long long>(applier->next_seq() - 1),
+                  static_cast<unsigned long long>(applier->clicks_applied()),
+                  static_cast<unsigned long long>(applier->snapshots_applied()),
+                  static_cast<unsigned long long>(repl_follower.reconnects()));
+      std::fflush(stdout);
+    }
+
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
-    std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("ppcd: listening on %s:%u — sink=%s window=%s "
                 "shards=%zu owners=%zu engine=%s flush=%zu loops=%zu\n",
@@ -352,6 +474,25 @@ int main(int argc, char** argv) {
                 cfg.window.describe().c_str(), cfg.shards, cfg.owners,
                 engine.c_str(), opts.flush_clicks, opts.loops);
     std::fflush(stdout);
+
+    std::unique_ptr<server::ReplicationSource> repl_source;
+    if (repl_log) {
+      const auto [rhost, rport] = parse_hostport(repl_listen);
+      repl_source = std::make_unique<server::ReplicationSource>(
+          *repl_log, [&srv](std::uint64_t& base_seq) {
+            return srv.replication_snapshot(base_seq);
+          });
+      const std::uint16_t rbound = repl_source->listen(rhost, rport);
+      repl_source->start();
+      std::printf("ppcd: replicating on %s:%u (ring: %llu batches / "
+                  "%llu MiB)\n",
+                  rhost.c_str(), rbound,
+                  static_cast<unsigned long long>(
+                      flag_u64(flags, "repl-ring-batches", 4096)),
+                  static_cast<unsigned long long>(
+                      flag_u64(flags, "repl-ring-mib", 256)));
+      std::fflush(stdout);
+    }
 
     // Periodic stats reporter: a dedicated wire connection per sample so
     // the STATS round trip exercises the production frame path end to end
@@ -414,6 +555,27 @@ int main(int argc, char** argv) {
     stats_stop.store(true, std::memory_order_relaxed);
     if (stats_thread.joinable()) stats_thread.join();
     const auto st = srv.drain();
+    if (repl_source) {
+      // The drain's final flush appended its batches to the ring; give the
+      // standby a bounded window to pull and acknowledge them so a planned
+      // failover (SIGTERM primary, SIGUSR1 follower) hands over the
+      // complete stream.
+      const std::uint64_t last = repl_log->next_seq() - 1;
+      if (last > 0 && !repl_source->wait_followers_caught_up(last, 10000)) {
+        std::fprintf(stderr,
+                     "ppcd: warning: a follower had not acknowledged seq "
+                     "%llu at shutdown\n",
+                     static_cast<unsigned long long>(last));
+      }
+      repl_source->stop();
+      std::printf(
+          "ppcd: replication: batches=%llu clicks=%llu evicted=%llu "
+          "followers=%zu\n",
+          static_cast<unsigned long long>(repl_log->next_seq() - 1),
+          static_cast<unsigned long long>(repl_log->appended_clicks()),
+          static_cast<unsigned long long>(repl_log->evicted_batches()),
+          repl_source->sessions_accepted());
+    }
     if (!opts.snapshot_path.empty()) {
       std::printf("ppcd: snapshot written to %s\n", opts.snapshot_path.c_str());
     }
