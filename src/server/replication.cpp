@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -19,12 +20,16 @@ namespace ppc::server {
 // ---------------------------------------------------------------------------
 // ReplicationLog
 
-ReplicationLog::ReplicationLog(Options opts) : opts_(opts) {
+ReplicationLog::ReplicationLog(Options opts)
+    : opts_(opts), next_seq_(opts.start_seq) {
   if (opts_.max_batches == 0) {
     throw std::invalid_argument("ReplicationLog: max_batches must be >= 1");
   }
   if (opts_.max_bytes == 0) {
     throw std::invalid_argument("ReplicationLog: max_bytes must be >= 1");
+  }
+  if (opts_.start_seq == 0) {
+    throw std::invalid_argument("ReplicationLog: start_seq must be >= 1");
   }
 }
 
@@ -296,6 +301,7 @@ void ReplicationSource::stop() {
 
 void ReplicationSource::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    reap_finished_sessions();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 200);
     if (stop_.load(std::memory_order_relaxed)) return;
@@ -323,6 +329,39 @@ void ReplicationSource::accept_loop() {
       raw->done.store(true, std::memory_order_release);
     });
   }
+}
+
+void ReplicationSource::reap_finished_sessions() {
+  // Dead sessions must not accumulate: a flapping follower reconnects
+  // every backoff interval, and each attempt costs an fd plus a thread
+  // until reaped. Runs on the accept thread only — stop() joins that
+  // thread before its own (lock-free) sweep, so the two never interleave.
+  std::vector<std::unique_ptr<Session>> dead;
+  {
+    const std::lock_guard<std::mutex> g(sessions_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join/close outside the lock: `done` is the session thread's last
+  // store, so these joins finish immediately.
+  for (auto& s : dead) {
+    if (s->thread.joinable()) s->thread.join();
+    if (s->fd >= 0) {
+      ::close(s->fd);
+      s->fd = -1;
+    }
+  }
+}
+
+std::size_t ReplicationSource::sessions_live() const {
+  const std::lock_guard<std::mutex> g(sessions_mu_);
+  return sessions_.size();
 }
 
 void ReplicationSource::serve_session(Session& s) {
@@ -353,7 +392,16 @@ void ReplicationSource::serve_session(Session& s) {
   if (!wire::parse_repl_hello(frame.payload, next, err)) return;
   if (next > log_.next_seq()) {
     // A cursor from some other primary's future (sequences only grow, so
-    // one check suffices). Nothing sane to replay — drop the session.
+    // one check suffices) — a standby re-pointed at a restarted or wrong
+    // primary. Nothing sane to replay: count it, say so once per attempt
+    // (the follower's backoff bounds the rate), and drop the session.
+    future_cursor_refusals_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "replication: refusing follower cursor %llu ahead of log "
+                 "next_seq %llu — is the follower from a different primary "
+                 "incarnation?\n",
+                 static_cast<unsigned long long>(next),
+                 static_cast<unsigned long long>(log_.next_seq()));
     return;
   }
 
@@ -583,11 +631,25 @@ std::string ReplicationFollower::last_error() const {
 }
 
 void ReplicationFollower::run() {
+  // Reconnect delay: doubles while connections die without applying a
+  // single frame (dead primary, future-cursor refusal), so the retry loop
+  // never hammers a peer that keeps turning us away; resets to the floor
+  // the moment a frame applies, so recovery from a transient fault is as
+  // fast as the fixed delay ever was.
+  constexpr int kBackoffFloorMs = 20;
+  constexpr int kBackoffCapMs = 1000;
+  int backoff_ms = kBackoffFloorMs;
   bool first_attempt = true;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (!first_attempt) {
       reconnects_.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      // Sleep in slices so stop() is honored promptly even at the cap.
+      for (int slept = 0;
+           slept < backoff_ms && !stop_.load(std::memory_order_relaxed);
+           slept += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
     }
     first_attempt = false;
     // A connection that died mid-snapshot leaves a partial transfer; the
@@ -614,6 +676,7 @@ void ReplicationFollower::run() {
         if (applier_.next_seq() != before) {
           client_.send_repl_ack(applier_.next_seq() - 1);
         }
+        backoff_ms = kBackoffFloorMs;  // link is productive again
       }
     } catch (const std::exception& e) {
       const std::lock_guard<std::mutex> g(err_mu_);

@@ -51,14 +51,22 @@ namespace ppc::server {
 /// mutex); reads come from ReplicationSource session threads. Entries are
 /// packed wire-format ClickRecordV2 records (24 bytes/click, source_ip 0
 /// for v1-ingested clicks) so the source streams them without
-/// re-interleaving. Sequences start at 1 and never reuse; when a bound is
-/// exceeded the OLDEST entries are evicted — a follower that still needs
-/// them falls back to the snapshot catch-up path.
+/// re-interleaving. Sequences start at `start_seq` (1 for a fresh primary)
+/// and never reuse; when a bound is exceeded the OLDEST entries are
+/// evicted — a follower that still needs them falls back to the snapshot
+/// catch-up path.
 class ReplicationLog {
  public:
   struct Options {
     std::size_t max_batches = 4096;
     std::size_t max_bytes = std::size_t{256} * 1024 * 1024;
+    /// Sequence the first append receives. A primary that restored a
+    /// baseline snapshot before listening must start at 2: the baseline
+    /// stands in for sequence 1, already evicted, so a fresh follower's
+    /// cursor (1) falls below first_seq() and takes the snapshot
+    /// catch-up path — ring replay alone could never deliver the
+    /// restored state.
+    std::uint64_t start_seq = 1;
   };
 
   struct Batch {
@@ -113,7 +121,7 @@ class ReplicationLog {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::deque<Batch> batches_;
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_seq_;  ///< set from Options::start_seq
   std::uint64_t appended_clicks_ = 0;
   std::uint64_t evicted_batches_ = 0;
   std::size_t bytes_ = 0;
@@ -157,6 +165,18 @@ class ReplicationSource {
     return sessions_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Sessions whose thread/fd are still held (live followers plus any
+  /// finished session the accept loop has not reaped yet). Bounded: the
+  /// accept loop reaps finished sessions every poll round, so a flapping
+  /// follower cannot accumulate fds or zombie threads.
+  std::size_t sessions_live() const;
+
+  /// Handshakes refused because the follower's cursor was ahead of the
+  /// ring (a standby re-pointed at a restarted or wrong primary).
+  std::uint64_t future_cursor_refusals() const {
+    return future_cursor_refusals_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Session {
     int fd = -1;
@@ -167,6 +187,7 @@ class ReplicationSource {
 
   void accept_loop();
   void serve_session(Session& s);
+  void reap_finished_sessions();
 
   ReplicationLog& log_;
   SnapshotFn snapshot_fn_;
@@ -178,6 +199,7 @@ class ReplicationSource {
   mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;
   std::atomic<std::size_t> sessions_accepted_{0};
+  std::atomic<std::uint64_t> future_cursor_refusals_{0};
 };
 
 /// Pure replication state machine on the follower side: feeds REPL_BATCH
@@ -255,7 +277,10 @@ class ReplicationApplier {
 /// failure — connection refused, mid-frame truncation, CRC damage, an
 /// applier refusal — drops the connection and retries the handshake from
 /// the applier's cursor, which is exactly the catch-up path; a follower
-/// therefore converges through arbitrary link faults.
+/// therefore converges through arbitrary link faults. Reconnects back off
+/// exponentially (20 ms doubling to 1 s) while no frame applies, and the
+/// delay resets as soon as one does, so a dead or refusing primary is not
+/// hammered but recovery after a transient fault stays fast.
 class ReplicationFollower {
  public:
   ReplicationFollower(std::string host, std::uint16_t port,

@@ -26,6 +26,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -211,6 +212,28 @@ std::vector<bool> oracle_verdicts(const DetectorConfig& cfg,
   return verdicts;
 }
 
+/// Offers v1 clicks straight into a sink (no wire) — builds uninterrupted
+/// oracle runs and pre-crash baselines for the restore tests.
+void offer_direct(ClickSink& sink, std::span<const wire::ClickRecord> clicks,
+                  std::size_t batch) {
+  std::vector<std::uint32_t> ads;
+  std::vector<std::uint64_t> ids, times;
+  std::vector<char> out;
+  for (std::size_t off = 0; off < clicks.size(); off += batch) {
+    const std::size_t n = std::min(batch, clicks.size() - off);
+    ads.resize(n);
+    ids.resize(n);
+    times.resize(n);
+    out.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ads[i] = clicks[off + i].ad_id;
+      ids[i] = clicks[off + i].click_id;
+      times[i] = clicks[off + i].t_us;
+    }
+    sink.offer(ads, ids, times, {reinterpret_cast<bool*>(out.data()), n});
+  }
+}
+
 /// Lock-step send of v1 batches, collecting verdict bits in order.
 void send_and_collect(BlockingClient& client,
                       std::span<const wire::ClickRecord> clicks,
@@ -301,6 +324,30 @@ TEST(ReplicationLog, SplitsOversizedAppendsAndEvictsOldestFirst) {
   ASSERT_TRUE(log.get(4, b));
   EXPECT_EQ(b.count, 10u);
   EXPECT_EQ(log.appended_clicks(), n + 20);
+}
+
+// start_seq > 1 models a primary whose sink was seeded from a restored
+// baseline: the skipped sequences read as already-evicted, so a cursor at
+// or below the baseline can never be served by ring replay.
+TEST(ReplicationLog, StartSeqReadsAsAlreadyEvictedBaseline) {
+  ReplicationLog::Options o;
+  o.start_seq = 2;
+  ReplicationLog log(o);
+  EXPECT_EQ(log.first_seq(), 2u);
+  EXPECT_EQ(log.next_seq(), 2u);
+
+  const std::vector<std::uint32_t> ads(1, 1);
+  const std::vector<std::uint64_t> ids(1, 7), times(1, 9);
+  log.append(ads, ids, times, {});
+  ReplicationLog::Batch b;
+  EXPECT_FALSE(log.get(1, b)) << "seq 1 is the baseline, not a ring entry";
+  ASSERT_TRUE(log.get(2, b));
+  EXPECT_EQ(b.count, 1u);
+  EXPECT_EQ(log.next_seq(), 3u);
+
+  ReplicationLog::Options bad;
+  bad.start_seq = 0;
+  EXPECT_THROW(ReplicationLog{bad}, std::invalid_argument);
 }
 
 // ------------------------------------------------- clean-link convergence
@@ -501,6 +548,68 @@ TEST(Replication, RotatedRingFallsBackToChunkedSnapshotCatchUp) {
             snapshot_bytes(fsink, "rot_follower.snap"));
 }
 
+// A primary seeded from a restored baseline snapshot starts its ring at
+// seq 2 (exactly what ppcd --restore --replicate-listen configures): the
+// baseline stands in for seq 1 but never entered the ring, so a fresh
+// follower's cursor (1) MUST route through the snapshot catch-up path —
+// ring replay from 1 would skip the baseline and silently diverge.
+TEST(Replication, RestoredPrimaryServesBaselineThroughSnapshotCatchUp) {
+  const DetectorConfig cfg = gbf_config();
+  const auto baseline = make_clicks(1, 30'000, 606);
+  const auto live = make_clicks(1, 20'000, 616);
+
+  // Pre-crash primary: consume the baseline, snapshot, "crash".
+  const std::string baseline_snap = ::testing::TempDir() + "/baseline.snap";
+  {
+    adnet::DetectorPool pool(
+        [cfg](std::uint32_t) { return build_detector(cfg); });
+    PoolSink sink(pool);
+    offer_direct(sink, baseline, 1024);
+    IngestServer::save_sink_snapshot(sink, baseline_snap);
+  }
+
+  // Restarted primary: baseline restored into a fresh sink BEFORE the
+  // ring exists, ring seeded past it.
+  adnet::DetectorPool ppool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink psink(ppool);
+  IngestServer::restore_sink_snapshot(psink, baseline_snap);
+  ReplicationLog::Options ring;
+  ring.start_seq = 2;
+  ReplicatedPrimary primary(psink, ring);
+
+  adnet::DetectorPool fpool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink fsink(fpool);
+  Standby standby(fsink);
+  standby.start(primary.repl_port);
+
+  BlockingClient client;
+  client.connect("127.0.0.1", primary.ingest_port);
+  client.handshake();
+  std::vector<bool> verdicts;
+  send_and_collect(client, live, 1024, verdicts);
+
+  primary.drain();
+  ASSERT_TRUE(wait_caught_up(standby.applier, primary.log, 15'000))
+      << standby.follower->last_error();
+  standby.stop();
+  primary.source.stop();
+
+  EXPECT_GE(standby.applier.snapshots_applied(), 1u)
+      << "the baseline can only cross as a snapshot, never as ring replay";
+
+  // Byte-identity against BOTH the restored primary and an uninterrupted
+  // run of baseline + live: the baseline really reached the follower.
+  adnet::DetectorPool opool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink osink(opool);
+  offer_direct(osink, baseline, 1024);
+  offer_direct(osink, live, 1024);
+  const std::string ps = snapshot_bytes(psink, "restored_primary.snap");
+  EXPECT_EQ(ps, snapshot_bytes(fsink, "restored_follower.snap"))
+      << "follower missed the restored baseline";
+  EXPECT_EQ(ps, snapshot_bytes(osink, "restored_oracle.snap"))
+      << "replicated pair diverged from the uninterrupted run";
+}
+
 // Chaos ON the snapshot transfer itself: the first two attempts die mid-
 // chunk (truncation, then a reset); reset_transfer must discard the
 // partial bytes and the third attempt's fresh transfer must restore an
@@ -548,6 +657,74 @@ TEST(Replication, SnapshotTransferHealsAfterTruncationAndReset) {
   EXPECT_GE(standby.follower->reconnects(), 2u);
   EXPECT_EQ(snapshot_bytes(psink, "heal_primary.snap"),
             snapshot_bytes(fsink, "heal_follower.snap"));
+}
+
+// ------------------------------------------------------ session hygiene
+
+// Followers that flap (connect, die, reconnect) must not accumulate fds
+// or zombie threads on the primary: the accept loop reaps every finished
+// session within one poll round.
+TEST(Replication, FlappingFollowerSessionsAreReapedNotLeaked) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool pool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink sink(pool);
+  ReplicatedPrimary primary(sink);
+
+  constexpr std::size_t kFlaps = 24;
+  for (std::size_t i = 0; i < kFlaps; ++i) {
+    BlockingClient c;
+    c.connect("127.0.0.1", primary.repl_port);
+    // Destructor closes immediately: the session sees EOF pre-handshake.
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((primary.source.sessions_accepted() < kFlaps ||
+          primary.source.sessions_live() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(primary.source.sessions_accepted(), kFlaps);
+  EXPECT_EQ(primary.source.sessions_live(), 0u)
+      << "finished sessions (fd + thread each) were never reaped";
+  primary.drain();
+  primary.source.stop();
+}
+
+// A standby re-pointed at a restarted or wrong primary presents a cursor
+// from the future. The primary must refuse the session — counted and
+// logged, not silently dropped — and never serve bogus replay.
+TEST(Replication, FutureCursorIsRefusedAndCounted) {
+  const DetectorConfig cfg = gbf_config();
+  adnet::DetectorPool pool([cfg](std::uint32_t) { return build_detector(cfg); });
+  PoolSink sink(pool);
+  ReplicatedPrimary primary(sink);
+
+  BlockingClient c;
+  c.connect("127.0.0.1", primary.repl_port);
+  c.handshake(wire::kProtocolVersionV3);
+  c.send_repl_hello(primary.log.next_seq() + 100);
+  wire::FrameView frame;
+  EXPECT_FALSE(c.read_frame(frame))
+      << "a future cursor must end the session, got "
+      << wire::frame_type_name(frame.type);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (primary.source.future_cursor_refusals() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(primary.source.future_cursor_refusals(), 1u);
+
+  // An exact-cursor handshake on a fresh connection still works: the
+  // refusal never poisons the listener.
+  BlockingClient ok;
+  ok.connect("127.0.0.1", primary.repl_port);
+  ok.handshake(wire::kProtocolVersionV3);
+  ok.send_repl_hello(primary.log.next_seq());
+  primary.drain();
+  primary.source.stop();
 }
 
 // ------------------------------------- bit-identity across the sink zoo

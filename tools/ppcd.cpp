@@ -405,6 +405,15 @@ int main(int argc, char** argv) {
       server::ReplicationLog::Options ro;
       ro.max_batches = flag_u64(flags, "repl-ring-batches", 4096);
       ro.max_bytes = flag_u64(flags, "repl-ring-mib", 256) << 20;
+      if (!restore_path.empty()) {
+        // The restored baseline stands in for sequence 1 but was never
+        // appended to the ring, so ring replay from 1 would silently skip
+        // it and hand followers a diverged sink. Starting the ring at 2
+        // makes a fresh follower's cursor (1) fall below first_seq(),
+        // which routes it through the snapshot catch-up path — the only
+        // transfer that carries the baseline.
+        ro.start_seq = 2;
+      }
       repl_log = std::make_unique<server::ReplicationLog>(ro);
       opts.replication = repl_log.get();
     }
